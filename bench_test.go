@@ -1,0 +1,279 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 10) and the throttling experiments (Section 11).
+// Each benchmark iteration executes one full workload run; compare
+// sub-benchmarks to read the tables (e.g. Fig6Ferret/CilkP-P2 vs
+// Fig6Ferret/Serial gives the speedup column). cmd/piperbench prints the
+// same data as paper-shaped tables.
+package piper_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"piper"
+	"piper/internal/dag"
+	"piper/internal/dedup"
+	"piper/internal/ferret"
+	"piper/internal/pipefib"
+	"piper/internal/vidsim"
+	"piper/internal/workload"
+)
+
+var benchPs = []int{1, 2, 4}
+
+// --- Figure 6: ferret ------------------------------------------------------
+
+func BenchmarkFig6Ferret(b *testing.B) {
+	c := ferret.BuildCorpus(300, 32, 32)
+	qs := ferret.QuerySet{Offset: 1 << 20, N: 120, TopK: 10}
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.RunSerial(qs)
+		}
+	})
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("CilkP-P%d", p), func(b *testing.B) {
+			eng := piper.NewEngine(piper.Workers(p))
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.RunPiper(eng, 10*p, qs)
+			}
+		})
+		b.Run(fmt.Sprintf("Pthreads-P%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.RunBindStage(p, 10*p, qs)
+			}
+		})
+		b.Run(fmt.Sprintf("TBB-P%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.RunTBB(p, 10*p, qs)
+			}
+		})
+	}
+}
+
+// --- Figure 7: dedup -------------------------------------------------------
+
+func BenchmarkFig7Dedup(b *testing.B) {
+	data := workload.TextStream(1234, 4<<20, 4096, 0.35)
+	b.SetBytes(int64(len(data)))
+	b.Run("Serial", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			_ = dedup.CompressSerial(data, io.Discard)
+		}
+	})
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("CilkP-P%d", p), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			eng := piper.NewEngine(piper.Workers(p))
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = dedup.CompressPiper(eng, 4*p, data, io.Discard)
+			}
+		})
+		b.Run(fmt.Sprintf("Pthreads-P%d", p), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				_ = dedup.CompressBindStage(data, p, 4*p, io.Discard)
+			}
+		})
+		b.Run(fmt.Sprintf("TBB-P%d", p), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				_ = dedup.CompressTBB(data, p, 4*p, io.Discard)
+			}
+		})
+	}
+}
+
+// --- Figure 8: x264 --------------------------------------------------------
+
+func BenchmarkFig8X264(b *testing.B) {
+	video := vidsim.Generate(777, 192, 96, 60, 20)
+	cfg := vidsim.DefaultConfig()
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vidsim.EncodeSerial(video, cfg)
+		}
+	})
+	for _, p := range benchPs {
+		b.Run(fmt.Sprintf("CilkP-P%d", p), func(b *testing.B) {
+			eng := piper.NewEngine(piper.Workers(p))
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vidsim.EncodePiper(eng, 4*p, video, cfg)
+			}
+		})
+		b.Run(fmt.Sprintf("Pthreads-P%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				vidsim.EncodeThreads(video, cfg, p)
+			}
+		})
+	}
+}
+
+// --- Figure 9: pipe-fib dependency folding ----------------------------------
+
+func BenchmarkFig9PipeFib(b *testing.B) {
+	const n = 3000
+	b.Run("SerialFine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pipefib.SerialFine(n)
+		}
+	})
+	b.Run("SerialCoarse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pipefib.SerialCoarse(n)
+		}
+	})
+	for _, cfg := range []struct {
+		name    string
+		folding bool
+		coarse  bool
+	}{
+		{"Fine-NoFold", false, false},
+		{"Fine-Fold", true, false},
+		{"Coarse-NoFold", false, true},
+		{"Coarse-Fold", true, true},
+	} {
+		for _, p := range benchPs {
+			b.Run(fmt.Sprintf("%s-P%d", cfg.name, p), func(b *testing.B) {
+				eng := piper.NewEngine(piper.Workers(p), piper.DependencyFolding(cfg.folding))
+				defer eng.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if cfg.coarse {
+						pipefib.Coarse(eng, 4*p, n)
+					} else {
+						pipefib.Fine(eng, 4*p, n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Theorem 12: uniform pipelines under throttling -------------------------
+
+func benchSpinPipeline(b *testing.B, p, k int, model *dag.Pipeline) {
+	eng := piper.NewEngine(piper.Workers(p))
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iter := 0
+		eng.RunPipeline(k, func() bool { return iter < len(model.Iters) }, func(it *piper.Iter) {
+			row := model.Iters[iter]
+			iter++
+			workload.SpinMicros(row[0].Weight)
+			for j := 1; j < len(row); j++ {
+				if row[j].Cross {
+					it.Wait(row[j].Stage)
+				} else {
+					it.Continue(row[j].Stage)
+				}
+				workload.SpinMicros(row[j].Weight)
+			}
+		})
+	}
+}
+
+func BenchmarkThm12Uniform(b *testing.B) {
+	const n, stages, micros = 150, 4, 30
+	model := dag.Uniform(n, stages, micros)
+	for _, a := range []int{1, 2, 4, 8} {
+		p := 2
+		b.Run(fmt.Sprintf("K=%dP", a), func(b *testing.B) {
+			benchSpinPipeline(b, p, a*p, model)
+		})
+	}
+}
+
+// --- Figure 10 / Theorem 13: pathological pipeline ---------------------------
+
+func BenchmarkFig10Pathological(b *testing.B) {
+	model := dag.PathologicalThm13(1 << 16)
+	cbrt := 1
+	for int64(cbrt*cbrt*cbrt) < model.Work() {
+		cbrt++
+	}
+	for _, k := range []int{2, 8, cbrt + 2} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			benchSpinPipeline(b, 2, k, model)
+		})
+	}
+}
+
+// --- Section 9 ablations -----------------------------------------------------
+
+func BenchmarkAblations(b *testing.B) {
+	const n = 1500
+	for _, cfg := range []struct {
+		name string
+		opts []piper.Option
+	}{
+		{"AllOn", nil},
+		{"NoFolding", []piper.Option{piper.DependencyFolding(false)}},
+		{"EagerEnabling", []piper.Option{piper.LazyEnabling(false)}},
+		{"NoTailSwap", []piper.Option{piper.TailSwap(false)}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := append([]piper.Option{piper.Workers(2)}, cfg.opts...)
+			eng := piper.NewEngine(opts...)
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pipefib.Fine(eng, 8, n)
+			}
+		})
+	}
+}
+
+// --- Scheduler microbenchmarks ----------------------------------------------
+
+// BenchmarkSerialOverhead measures the per-iteration cost of an empty
+// pipeline on one worker — the "low serial overhead" claim of Section 10.
+func BenchmarkSerialOverhead(b *testing.B) {
+	eng := piper.NewEngine(piper.Workers(1))
+	defer eng.Close()
+	b.ResetTimer()
+	i := 0
+	n := b.N
+	eng.PipeWhile(func() bool { return i < n }, func(it *piper.Iter) {
+		i++
+	})
+}
+
+// BenchmarkStageTransitions measures Wait on an always-satisfied cross
+// edge (the dependency-folding fast path).
+func BenchmarkStageTransitions(b *testing.B) {
+	eng := piper.NewEngine(piper.Workers(1))
+	defer eng.Close()
+	b.ResetTimer()
+	i := 0
+	eng.PipeWhile(func() bool { return i < 1 }, func(it *piper.Iter) {
+		i++
+		for j := int64(1); j <= int64(b.N); j++ {
+			it.Wait(j)
+		}
+	})
+}
+
+// BenchmarkForkJoinFor measures Iter.For dispatch.
+func BenchmarkForkJoinFor(b *testing.B) {
+	eng := piper.NewEngine(piper.Workers(2))
+	defer eng.Close()
+	var sink int64
+	b.ResetTimer()
+	i := 0
+	eng.PipeWhile(func() bool { return i < 1 }, func(it *piper.Iter) {
+		i++
+		it.Continue(1)
+		it.For(b.N, 256, func(j int) { sink += int64(j) })
+	})
+	_ = sink
+}

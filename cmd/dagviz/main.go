@@ -1,0 +1,59 @@
+// Command dagviz emits pipeline dags in Graphviz DOT format, reproducing
+// the structural figures of the paper (Figure 1's ferret SPS grid,
+// Figure 3's x264 staircase, Figure 10's pathological pipeline).
+//
+// Usage:
+//
+//	dagviz -dag ferret -n 8 -k 4 | dot -Tpng > ferret.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"piper/internal/dag"
+)
+
+func main() {
+	var (
+		kind = flag.String("dag", "ferret", "ferret|dedup|x264|pipefib|pathological|uniform")
+		n    = flag.Int("n", 8, "iterations")
+		k    = flag.Int("k", 0, "throttling window to draw (0 = none)")
+		r    = flag.Int64("r", 4, "parallel-stage weight for ferret")
+	)
+	flag.Parse()
+
+	var p *dag.Pipeline
+	switch *kind {
+	case "ferret":
+		p = dag.SPS(*n, *r)
+	case "dedup":
+		p = dag.SSPS(*n, 1, 2, 8, 1)
+	case "x264":
+		types := make([]dag.FrameType, *n)
+		for i := range types {
+			if i%3 == 0 {
+				types[i] = dag.FrameI
+			} else {
+				types[i] = dag.FrameP
+			}
+		}
+		p = dag.X264(types, 4, 1, 1, 4, 6, 1)
+	case "pipefib":
+		p = dag.PipeFib(*n)
+	case "pathological":
+		p = dag.PathologicalThm13(1 << 12)
+	case "uniform":
+		p = dag.Uniform(*n, 4, 1)
+	default:
+		fmt.Fprintf(os.Stderr, "dagviz: unknown dag %q\n", *kind)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "work=%d span=%d parallelism=%.2f\n",
+		p.Work(), p.Span(), p.Parallelism())
+	if err := p.DOT(os.Stdout, *k); err != nil {
+		fmt.Fprintln(os.Stderr, "dagviz:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+// Command dedup compresses and restores files with the dedup pipeline.
+//
+// Usage:
+//
+//	dedup -mode compress -in file -out file.pdar [-pipeline piper|pthreads|tbb|serial] [-p 4]
+//	dedup -mode restore  -in file.pdar -out file
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"piper"
+	"piper/internal/dedup"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "compress", "compress|restore")
+		in       = flag.String("in", "", "input file")
+		out      = flag.String("out", "", "output file")
+		pipeline = flag.String("pipeline", "piper", "piper|pthreads|tbb|serial")
+		p        = flag.Int("p", 4, "workers")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "dedup: -in and -out are required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	check(err)
+	f, err := os.Create(*out)
+	check(err)
+	defer f.Close()
+	w := bufio.NewWriter(f)
+
+	switch *mode {
+	case "compress":
+		switch *pipeline {
+		case "serial":
+			err = dedup.CompressSerial(data, w)
+		case "piper":
+			eng := piper.NewEngine(piper.Workers(*p))
+			defer eng.Close()
+			err = dedup.CompressPiper(eng, 4**p, data, w)
+		case "pthreads":
+			err = dedup.CompressBindStage(data, *p, 4**p, w)
+		case "tbb":
+			err = dedup.CompressTBB(data, *p, 4**p, w)
+		default:
+			fmt.Fprintf(os.Stderr, "dedup: unknown pipeline %q\n", *pipeline)
+			os.Exit(2)
+		}
+		check(err)
+	case "restore":
+		var raw []byte
+		var rerr error
+		if *pipeline == "piper" {
+			eng := piper.NewEngine(piper.Workers(*p))
+			defer eng.Close()
+			raw, rerr = dedup.RestorePiper(eng, 4**p, data)
+		} else {
+			raw, rerr = dedup.Restore(data)
+		}
+		check(rerr)
+		_, err = w.Write(raw)
+		check(err)
+	default:
+		fmt.Fprintf(os.Stderr, "dedup: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	check(w.Flush())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dedup:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command ferret runs the image-similarity pipeline over a synthetic
+// corpus and prints the top matches per query.
+//
+// Usage:
+//
+//	ferret -corpus 500 -queries 20 -topk 5 -p 4 -pipeline piper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"piper"
+	"piper/internal/ferret"
+)
+
+func main() {
+	var (
+		corpusN  = flag.Int("corpus", 500, "corpus size")
+		queries  = flag.Int("queries", 20, "number of queries")
+		topk     = flag.Int("topk", 5, "results per query")
+		p        = flag.Int("p", 4, "workers")
+		pipeline = flag.String("pipeline", "piper", "piper|pthreads|tbb|serial")
+		imgSize  = flag.Int("imgsize", 48, "image edge length (pixels)")
+	)
+	flag.Parse()
+
+	c := ferret.BuildCorpus(*corpusN, *imgSize, *imgSize)
+	qs := ferret.QuerySet{Offset: 1 << 20, N: *queries, TopK: *topk}
+	var outs []ferret.Output
+	switch *pipeline {
+	case "serial":
+		outs = c.RunSerial(qs)
+	case "piper":
+		eng := piper.NewEngine(piper.Workers(*p))
+		defer eng.Close()
+		outs = c.RunPiper(eng, 10**p, qs)
+	case "pthreads":
+		outs = c.RunBindStage(*p, 10**p, qs)
+	case "tbb":
+		outs = c.RunTBB(*p, 10**p, qs)
+	default:
+		fmt.Fprintf(os.Stderr, "ferret: unknown pipeline %q\n", *pipeline)
+		os.Exit(2)
+	}
+	for _, o := range outs {
+		fmt.Printf("query %d:", o.QueryID)
+		for _, r := range o.Ranked {
+			fmt.Printf(" %d(%.4f)", r.ID, r.Dist)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,43 @@
+// Command pipefib computes Fibonacci numbers with the pipe-fib pipeline.
+//
+// Usage:
+//
+//	pipefib -n 10000 -p 4 [-coarse] [-nofold] [-print]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"piper"
+	"piper/internal/pipefib"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 10000, "Fibonacci index")
+		p      = flag.Int("p", 4, "workers")
+		coarse = flag.Bool("coarse", false, "use 256-bit stages (pipe-fib-256)")
+		nofold = flag.Bool("nofold", false, "disable dependency folding")
+		print  = flag.Bool("print", false, "print the number")
+	)
+	flag.Parse()
+
+	eng := piper.NewEngine(piper.Workers(*p), piper.DependencyFolding(!*nofold))
+	defer eng.Close()
+	start := time.Now()
+	var v fmt.Stringer
+	if *coarse {
+		v = pipefib.Coarse(eng, 4**p, *n)
+	} else {
+		v = pipefib.Fine(eng, 4**p, *n)
+	}
+	elapsed := time.Since(start)
+	if *print {
+		fmt.Println(v)
+	}
+	st := eng.Stats()
+	fmt.Printf("F(%d) computed in %v  (steals=%d cross-checks=%d fold-hits=%d)\n",
+		*n, elapsed, st.Steals, st.CrossChecks, st.FoldHits)
+}

@@ -1,0 +1,72 @@
+// Command x264sim encodes a synthetic video with the on-the-fly hybrid
+// pipeline of Figure 2 and prints per-frame statistics.
+//
+// Usage:
+//
+//	x264sim -w 320 -h 176 -frames 120 -p 4 -pipeline piper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"piper"
+	"piper/internal/vidsim"
+)
+
+func main() {
+	var (
+		w        = flag.Int("w", 320, "width (multiple of 16)")
+		h        = flag.Int("h", 176, "height (multiple of 16)")
+		frames   = flag.Int("frames", 120, "frame count")
+		p        = flag.Int("p", 4, "workers")
+		pipeline = flag.String("pipeline", "piper", "piper|pthreads|serial")
+		verbose  = flag.Bool("v", false, "print per-frame stats")
+		traceOut = flag.String("trace", "", "write a Chrome trace of the schedule to this file")
+	)
+	flag.Parse()
+
+	video := vidsim.Generate(777, *w, *h, *frames, *frames/3)
+	cfg := vidsim.DefaultConfig()
+	var res *vidsim.Result
+	switch *pipeline {
+	case "serial":
+		res = vidsim.EncodeSerial(video, cfg)
+	case "piper":
+		eng := piper.NewEngine(piper.Workers(*p))
+		defer eng.Close()
+		if *traceOut != "" {
+			eng.StartTrace()
+		}
+		res = vidsim.EncodePiper(eng, 4**p, video, cfg)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "x264sim:", err)
+				os.Exit(1)
+			}
+			if err := eng.StopTrace(f); err != nil {
+				fmt.Fprintln(os.Stderr, "x264sim:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+		}
+	case "pthreads":
+		res = vidsim.EncodeThreads(video, cfg, *p)
+	default:
+		fmt.Fprintf(os.Stderr, "x264sim: unknown pipeline %q\n", *pipeline)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, st := range res.Stats {
+			fmt.Printf("frame %3d  type %s  bits %8d\n", st.Frame, st.Type, st.Bits)
+		}
+	}
+	fmt.Printf("frames=%d refs=%d total-bits=%d checksum=%016x violations=%d\n",
+		len(res.Stats), len(res.Order), res.TotalBits, res.Checksum, res.Violations)
+	if res.Violations != 0 {
+		os.Exit(1)
+	}
+}

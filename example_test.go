@@ -1,0 +1,93 @@
+package piper_test
+
+import (
+	"fmt"
+
+	"piper"
+)
+
+// The canonical SPS (serial-parallel-serial) pipeline: stage 0 claims an
+// element serially, stage 1 processes elements in parallel, stage 2 emits
+// results in input order.
+func Example() {
+	eng := piper.NewEngine(piper.Workers(4))
+	defer eng.Close()
+
+	inputs := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	i := 0
+	eng.PipeWhile(func() bool { return i < len(inputs) }, func(it *piper.Iter) {
+		v := inputs[i] // stage 0: serial input
+		i++
+
+		it.Continue(1) // stage 1: parallel
+		sq := v * v
+
+		it.Wait(2) // stage 2: serial, in order
+		fmt.Print(sq, " ")
+	})
+	fmt.Println()
+	// Output: 9 1 16 1 25 81 4 36
+}
+
+// Pipe removes the shared-variable boilerplate from hand-written
+// pipe_while conditions: next produces each element, and the body gets an
+// iteration-local copy.
+func ExamplePipe() {
+	eng := piper.NewEngine(piper.Workers(4))
+	defer eng.Close()
+
+	words := []string{"on", "the", "fly", "pipeline"}
+	i := 0
+	piper.Pipe(eng, func() (string, bool) {
+		if i >= len(words) {
+			return "", false
+		}
+		w := words[i]
+		i++
+		return w, true
+	}, func(it *piper.Iter, w string) {
+		it.Continue(1)
+		n := len(w)
+		it.Wait(2)
+		fmt.Print(n, " ")
+	})
+	fmt.Println()
+	// Output: 2 3 3 8
+}
+
+// Data-dependent stage structure — the x264 pattern that construct-and-run
+// pipelines cannot express: each iteration decides at run time whether a
+// stage depends on its predecessor (Wait) or not (Continue).
+func ExampleIter_Wait() {
+	eng := piper.NewEngine(piper.Workers(4))
+	defer eng.Close()
+
+	kinds := []string{"I", "P", "P", "I", "P"}
+	i := 0
+	eng.PipeWhile(func() bool { return i < len(kinds) }, func(it *piper.Iter) {
+		kind := kinds[i]
+		i++
+		if kind == "I" {
+			it.Continue(1) // independent: no cross edge
+		} else {
+			it.Wait(1) // depends on the previous iteration's stage 1
+		}
+		it.Wait(2)
+		fmt.Print(kind, " ")
+	})
+	fmt.Println()
+	// Output: I P P I P
+}
+
+// RunSerial executes the same body with pipe_while semantics but no
+// parallelism — the TS baseline of the paper's speedup tables.
+func ExampleRunSerial() {
+	i := 0
+	rep := piper.RunSerial(func() bool { return i < 3 }, func(it *piper.Iter) {
+		i++
+		it.Continue(1)
+		it.Wait(2)
+	})
+	fmt.Println(rep.Iterations)
+	// Output: 3
+}

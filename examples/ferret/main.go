@@ -1,0 +1,26 @@
+// Example ferret: the SPS image-similarity pipeline of Figure 1. Builds
+// a synthetic corpus, streams queries through a serial-parallel-serial
+// pipe_while, and prints each query's nearest neighbours in order.
+package main
+
+import (
+	"fmt"
+
+	"piper"
+	"piper/internal/ferret"
+)
+
+func main() {
+	corpus := ferret.BuildCorpus(400, 32, 32)
+	eng := piper.NewEngine(piper.Workers(4), piper.Throttle(40))
+	defer eng.Close()
+
+	outs := corpus.RunPiper(eng, 40, ferret.QuerySet{Offset: 1 << 20, N: 12, TopK: 3})
+	for _, o := range outs {
+		fmt.Printf("query %d ->", o.QueryID)
+		for _, r := range o.Ranked {
+			fmt.Printf("  img%d (d=%.4f)", r.ID, r.Dist)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,50 @@
+// Example nested: pipelines inside pipeline stages plus fork-join inside
+// stages — the arbitrary composition Section 2 promises. The outer
+// pipeline streams "documents"; stage 1 runs a nested pipeline over the
+// document's "pages" and a parallel-for over tokens; stage 2 reduces in
+// order.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"piper"
+	"piper/internal/workload"
+)
+
+func main() {
+	eng := piper.NewEngine(piper.Workers(4))
+	defer eng.Close()
+
+	const docs, pages, tokens = 10, 8, 1000
+	var grandTotal int64
+	doc := 0
+	eng.PipeWhile(func() bool { return doc < docs }, func(it *piper.Iter) {
+		d := doc // stage 0: serial intake
+		doc++
+
+		it.Continue(1) // stage 1: nested pipeline over pages
+		var docSum atomic.Int64
+		page := 0
+		it.PipeWhile(func() bool { return page < pages }, func(in *piper.Iter) {
+			p := page
+			page++
+			in.Continue(1)
+			// Fork-join over the page's tokens.
+			var pageSum atomic.Int64
+			in.For(tokens, 64, func(t int) {
+				pageSum.Add(int64(workload.Hash64(uint64(d*1000000+p*1000+t)) % 100))
+			})
+			docSum.Add(pageSum.Load())
+		})
+
+		it.Wait(2) // stage 2: serial, ordered reduction
+		grandTotal += docSum.Load()
+		fmt.Printf("doc %2d  sum=%d\n", d, docSum.Load())
+	})
+	fmt.Printf("grand total: %d\n", grandTotal)
+	s := eng.Stats()
+	fmt.Printf("pipelines=%d (1 outer + %d nested), fork-join tasks=%d\n",
+		s.Pipelines, s.Pipelines-1, s.ClosureTasks)
+}

@@ -1,0 +1,46 @@
+// Quickstart: a three-stage SPS pipeline (the ferret shape from the
+// paper's introduction). Stage 0 reads lines serially, stage 1 hashes
+// them in parallel, stage 2 prints results in input order.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"piper"
+)
+
+func main() {
+	lines := []string{
+		"pipeline parallelism organizes a program",
+		"as a linear sequence of stages",
+		"each stage processes elements of a data stream",
+		"iterations overlap in time",
+		"cross edges order adjacent iterations",
+		"the scheduler throttles runaway pipelines",
+	}
+
+	eng := piper.NewEngine(piper.Workers(4))
+	defer eng.Close()
+
+	i := 0
+	eng.PipeWhile(func() bool { return i < len(lines) }, func(it *piper.Iter) {
+		// Stage 0 (serial): take the next element.
+		line := lines[i]
+		i++
+
+		it.Continue(1) // stage 1 (parallel): heavy per-element work
+		h := fnv.New64a()
+		for rep := 0; rep < 1000; rep++ {
+			h.Write([]byte(line))
+		}
+		digest := h.Sum64()
+
+		it.Wait(2) // stage 2 (serial): ordered output
+		fmt.Printf("%d  %016x  %s\n", it.Index(), digest, line)
+	})
+
+	s := eng.Stats()
+	fmt.Printf("\niterations=%d steals=%d suspends=%d\n",
+		s.Iterations, s.Steals, s.CrossSuspends)
+}

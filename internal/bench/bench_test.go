@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment runners are exercised at Small scale so the harness
+// itself is tested: every table must render with the right shape and
+// sane values.
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{Title: "t", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.Notes = append(tbl.Notes, "hello")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"t\n", "a", "bb", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6Small(t *testing.T) {
+	sz := Small()
+	sz.FerretCorpus, sz.FerretQueries = 60, 20
+	tbl := Fig6Ferret(nil, []int{1, 2}, sz)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "1" || tbl.Rows[1][0] != "2" {
+		t.Fatalf("P column wrong: %v", tbl.Rows)
+	}
+}
+
+func TestFig7Small(t *testing.T) {
+	sz := Small()
+	sz.DedupBytes = 256 << 10
+	tbl := Fig7Dedup(nil, []int{1, 2}, sz)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "parallelism") {
+		t.Fatalf("missing parallelism note: %v", tbl.Notes)
+	}
+}
+
+func TestFig8Small(t *testing.T) {
+	sz := Small()
+	sz.X264Frames = 20
+	tbl := Fig8X264(nil, []int{1, 2}, sz)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig9Small(t *testing.T) {
+	sz := Small()
+	sz.PipeFibN = 600
+	tbl := Fig9PipeFib(nil, 2, sz)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 variants", len(tbl.Rows))
+	}
+}
+
+func TestThm12Small(t *testing.T) {
+	sz := Small()
+	tbl := Thm12Uniform(nil, 2, sz)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig10Small(t *testing.T) {
+	sz := Small()
+	tbl := Fig10Pathological(nil, 2, sz)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The largest window must never show fewer live iterations than
+	// allowed by the smallest.
+	if tbl.Rows[0][3] == "" {
+		t.Fatal("missing max-live column")
+	}
+}
+
+func TestAblationsSmall(t *testing.T) {
+	sz := Small()
+	sz.PipeFibN = 800
+	tbl := Ablations(nil, 2, sz)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][2] != "1.00" {
+		t.Fatalf("baseline slowdown should be 1.00, got %s", tbl.Rows[0][2])
+	}
+}
+
+func TestAdaptiveThrottleSmall(t *testing.T) {
+	sz := Small()
+	tbl := AdaptiveThrottle(nil, 2, sz)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "fixed K=4P" && row[1] != "adaptive" {
+			t.Fatalf("unexpected policy %q", row[1])
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package bench is the experiment harness: it reruns every table and
+// figure of the paper's evaluation (Section 10) and the throttling
+// experiments of Section 11 on the synthetic substrates, printing rows in
+// the same shape the paper reports.
+//
+// Measured columns are wall-clock on this host; "model" columns are the
+// greedy-bound predictions min(P, T1/T∞(K)) from the dag analyzer, which
+// extend the tables past the host's core count (the paper's machine had
+// 16 cores; see EXPERIMENTS.md for the comparison protocol).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// timeIt measures one execution of f.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// bestOf runs f reps times and keeps the minimum duration, the standard
+// noise-rejection protocol for small benchmarks.
+func bestOf(reps int, f func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	best := timeIt(f)
+	for i := 1; i < reps; i++ {
+		if d := timeIt(f); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", float64(a)/float64(b))
+}
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

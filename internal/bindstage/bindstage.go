@@ -1,0 +1,187 @@
+// Package bindstage implements the bind-to-stage pipeline execution model
+// used by the PARSEC Pthreaded implementations of ferret and dedup: each
+// stage owns a pool of worker threads (the "oversubscription method" of
+// Reed, Chen, and Johnson), stages communicate through bounded queues, and
+// serial stages process elements in arrival order, with reorder buffers
+// restoring sequence order after parallel stages.
+//
+// This is the comparison baseline for Figures 6 and 7 of the paper.
+package bindstage
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Kind distinguishes serial (single-thread, in-order) from parallel
+// (Q-thread, unordered) stages.
+type Kind int8
+
+const (
+	// Serial stages run on one thread and see elements in pipeline order.
+	Serial Kind = iota
+	// Parallel stages run on Q threads and may process elements out of
+	// order; order is restored before the next serial stage.
+	Parallel
+)
+
+// Stage describes one pipeline stage.
+type Stage struct {
+	Kind Kind
+	// Threads is the pool size Q for parallel stages; serial stages
+	// always use exactly one thread (as the PARSEC implementations do for
+	// their input and output stages).
+	Threads int
+	// Fn transforms an element. A nil return drops the element (it still
+	// counts for ordering purposes).
+	Fn func(v any) any
+}
+
+// Pipeline is a construct-and-run bind-to-stage pipeline.
+type Pipeline struct {
+	stages   []Stage
+	queueCap int
+}
+
+// New creates a pipeline whose inter-stage queues hold at most queueCap
+// elements — the throttling mechanism of the Pthreaded implementations.
+func New(queueCap int) *Pipeline {
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	return &Pipeline{queueCap: queueCap}
+}
+
+// AddSerial appends a serial, in-order stage.
+func (p *Pipeline) AddSerial(fn func(v any) any) *Pipeline {
+	p.stages = append(p.stages, Stage{Kind: Serial, Threads: 1, Fn: fn})
+	return p
+}
+
+// AddParallel appends a parallel stage with q threads.
+func (p *Pipeline) AddParallel(q int, fn func(v any) any) *Pipeline {
+	if q < 1 {
+		q = 1
+	}
+	p.stages = append(p.stages, Stage{Kind: Parallel, Threads: q, Fn: fn})
+	return p
+}
+
+// item carries an element and its pipeline sequence number.
+type item struct {
+	seq int64
+	v   any
+}
+
+// Run pulls elements from source until it reports ok == false, pushes
+// them through the stages, and delivers survivors to sink in pipeline
+// order (sink runs on the final serial output thread). Run blocks until
+// the pipeline drains.
+func (p *Pipeline) Run(source func() (any, bool), sink func(any)) {
+	in := make(chan item, p.queueCap)
+	go func() {
+		defer close(in)
+		var seq int64
+		for {
+			v, ok := source()
+			if !ok {
+				return
+			}
+			in <- item{seq: seq, v: v}
+			seq++
+		}
+	}()
+
+	ch := in
+	prevParallel := false
+	for i := range p.stages {
+		st := p.stages[i]
+		switch st.Kind {
+		case Serial:
+			if prevParallel {
+				ch = reorder(ch, p.queueCap)
+			}
+			ch = p.runSerial(st, ch)
+			prevParallel = false
+		case Parallel:
+			ch = p.runParallel(st, ch)
+			prevParallel = true
+		}
+	}
+	if prevParallel {
+		ch = reorder(ch, p.queueCap)
+	}
+	for it := range ch {
+		if it.v != nil {
+			sink(it.v)
+		}
+	}
+}
+
+func (p *Pipeline) runSerial(st Stage, in <-chan item) chan item {
+	out := make(chan item, p.queueCap)
+	go func() {
+		defer close(out)
+		for it := range in {
+			if it.v != nil {
+				it.v = st.Fn(it.v)
+			}
+			out <- it
+		}
+	}()
+	return out
+}
+
+func (p *Pipeline) runParallel(st Stage, in <-chan item) chan item {
+	out := make(chan item, p.queueCap)
+	var wg sync.WaitGroup
+	for t := 0; t < st.Threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range in {
+				if it.v != nil {
+					it.v = st.Fn(it.v)
+				}
+				out <- it
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// seqHeap is a min-heap of items keyed by sequence number.
+type seqHeap []item
+
+func (h seqHeap) Len() int           { return len(h) }
+func (h seqHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
+func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x any)        { *h = append(*h, x.(item)) }
+func (h *seqHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// reorder restores sequence order after a parallel stage. Its buffer is
+// unbounded in principle but in practice holds at most (queue capacity ×
+// stage threads) items, the same bound the Pthreaded reorder logic has.
+func reorder(in <-chan item, cap int) chan item {
+	out := make(chan item, cap)
+	go func() {
+		defer close(out)
+		var next int64
+		var h seqHeap
+		for it := range in {
+			heap.Push(&h, it)
+			for len(h) > 0 && h[0].seq == next {
+				out <- heap.Pop(&h).(item)
+				next++
+			}
+		}
+		for len(h) > 0 {
+			out <- heap.Pop(&h).(item)
+		}
+	}()
+	return out
+}

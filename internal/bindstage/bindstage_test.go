@@ -1,0 +1,147 @@
+package bindstage
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"piper/internal/workload"
+)
+
+func sourceFrom(xs []int) func() (any, bool) {
+	i := 0
+	return func() (any, bool) {
+		if i >= len(xs) {
+			return nil, false
+		}
+		v := xs[i]
+		i++
+		return v, true
+	}
+}
+
+func TestSerialOnlyPreservesOrder(t *testing.T) {
+	xs := make([]int, 500)
+	for i := range xs {
+		xs[i] = i
+	}
+	p := New(8).AddSerial(func(v any) any { return v.(int) * 2 })
+	var got []int
+	p.Run(sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+	if len(got) != len(xs) {
+		t.Fatalf("got %d items", len(got))
+	}
+	for i, v := range got {
+		if v != 2*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestParallelStageRestoresOrder(t *testing.T) {
+	const n = 2000
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	p := New(16).
+		AddSerial(func(v any) any { return v }).
+		AddParallel(4, func(v any) any { return v.(int) + 1000 }).
+		AddSerial(func(v any) any { return v })
+	var got []int
+	p.Run(sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+	for i, v := range got {
+		if v != i+1000 {
+			t.Fatalf("order violated: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestDroppedElements(t *testing.T) {
+	const n = 100
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	p := New(8).AddParallel(3, func(v any) any {
+		if v.(int)%2 == 0 {
+			return nil // drop evens
+		}
+		return v
+	})
+	var got []int
+	p.Run(sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+	if len(got) != n/2 {
+		t.Fatalf("got %d items, want %d", len(got), n/2)
+	}
+	for i, v := range got {
+		if v != 2*i+1 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSSPSShape(t *testing.T) {
+	// dedup-shaped pipeline: serial, serial, parallel, serial.
+	const n = 1000
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	var stage1Seen atomic.Int64
+	p := New(16).
+		AddSerial(func(v any) any { return v }).
+		AddSerial(func(v any) any {
+			// serial: must observe strictly increasing values
+			if int64(v.(int)) != stage1Seen.Load() {
+				t.Errorf("serial stage out of order: %v after %d", v, stage1Seen.Load())
+			}
+			stage1Seen.Store(int64(v.(int)) + 1)
+			return v
+		}).
+		AddParallel(4, func(v any) any { return v.(int) * 3 }).
+		AddSerial(func(v any) any { return v })
+	var got []int
+	p.Run(sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+	for i, v := range got {
+		if v != 3*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestQuickOrderAndCompleteness(t *testing.T) {
+	prop := func(seed uint64, nRaw uint16, qRaw, capRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		q := int(qRaw%6) + 1
+		qcap := int(capRaw%30) + 1
+		r := workload.NewRNG(seed)
+		xs := r.Perm(n)
+		p := New(qcap).
+			AddParallel(q, func(v any) any { return v.(int) + 7 }).
+			AddSerial(func(v any) any { return v })
+		var got []int
+		p.Run(sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+		if len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != xs[i]+7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptySource(t *testing.T) {
+	p := New(4).AddSerial(func(v any) any { return v })
+	ran := false
+	p.Run(func() (any, bool) { return nil, false }, func(any) { ran = true })
+	if ran {
+		t.Fatal("sink ran for empty source")
+	}
+}

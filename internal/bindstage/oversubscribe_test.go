@@ -1,0 +1,130 @@
+package bindstage
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Tests for the oversubscription behaviour (Reed/Chen/Johnson's Q
+// threads per stage) and multi-stage composition.
+
+func TestOversubscriptionRunsConcurrently(t *testing.T) {
+	const n, q = 64, 8
+	xs := make([]int, n)
+	var live, peak atomic.Int64
+	p := New(n).AddParallel(q, func(v any) any {
+		l := live.Add(1)
+		for {
+			pk := peak.Load()
+			if l <= pk || peak.CompareAndSwap(pk, l) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		live.Add(-1)
+		return v
+	})
+	p.Run(sourceFrom(xs), func(any) {})
+	// With q=8 threads and a deep queue, several elements must have been
+	// in flight at once (exact count is scheduling-dependent).
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+	if peak.Load() > q {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", peak.Load(), q)
+	}
+}
+
+func TestBoundedQueuesThrottle(t *testing.T) {
+	// A slow sink with tiny queues keeps the source from running away.
+	const qcap = 2
+	var produced atomic.Int64
+	var consumed atomic.Int64
+	i := 0
+	p := New(qcap).AddSerial(func(v any) any { return v })
+	done := make(chan struct{})
+	go func() {
+		p.Run(func() (any, bool) {
+			if i >= 100 {
+				return nil, false
+			}
+			i++
+			produced.Add(1)
+			return i, true
+		}, func(any) {
+			time.Sleep(500 * time.Microsecond)
+			consumed.Add(1)
+		})
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	inFlight := produced.Load() - consumed.Load()
+	// Source queue + stage queue + a few in hand.
+	if inFlight > 3*qcap+4 {
+		t.Fatalf("%d elements in flight despite queue cap %d", inFlight, qcap)
+	}
+	<-done
+	if consumed.Load() != 100 {
+		t.Fatalf("consumed = %d", consumed.Load())
+	}
+}
+
+func TestBackToBackParallelStages(t *testing.T) {
+	const n = 500
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	p := New(8).
+		AddParallel(3, func(v any) any { return v.(int) + 1 }).
+		AddParallel(3, func(v any) any { return v.(int) * 2 }).
+		AddSerial(func(v any) any { return v })
+	var got []int
+	p.Run(sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+	for i, v := range got {
+		if v != (i+1)*2 {
+			t.Fatalf("got[%d] = %d, want %d", i, v, (i+1)*2)
+		}
+	}
+}
+
+func TestNoStagesPassThrough(t *testing.T) {
+	xs := []int{3, 1, 4, 1, 5}
+	p := New(4)
+	var got []int
+	p.Run(sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+	for i, v := range got {
+		if v != xs[i] {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestSerialAfterSerial(t *testing.T) {
+	const n = 200
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	var firstSeen, secondSeen int
+	p := New(4).
+		AddSerial(func(v any) any {
+			if v.(int) != firstSeen {
+				t.Errorf("first serial stage out of order: %v", v)
+			}
+			firstSeen++
+			return v
+		}).
+		AddSerial(func(v any) any {
+			if v.(int) != secondSeen {
+				t.Errorf("second serial stage out of order: %v", v)
+			}
+			secondSeen++
+			return v
+		})
+	p.Run(sourceFrom(xs), func(any) {})
+	if firstSeen != n || secondSeen != n {
+		t.Fatalf("stages saw %d and %d elements", firstSeen, secondSeen)
+	}
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"piper/internal/deque"
+	"piper/internal/workload"
+)
+
+// Options configures an Engine. The ablation switches correspond to the
+// runtime optimizations of Section 9 of the paper.
+type Options struct {
+	// Workers is the number of scheduling workers P. Defaults to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Throttle is the default throttling limit K for pipelines started on
+	// this engine; 0 means 4·P, the paper's recommended setting.
+	Throttle int
+	// DependencyFolding enables the cached-stage-counter optimization
+	// (on by default via DefaultOptions).
+	DependencyFolding bool
+	// EagerEnabling disables lazy enabling: every stage advance performs
+	// a check-right immediately. For ablation only.
+	EagerEnabling bool
+	// TailSwap enables the tail-swap rule at iteration completion
+	// (on by default via DefaultOptions).
+	TailSwap bool
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{
+		Workers:           runtime.GOMAXPROCS(0),
+		Throttle:          0,
+		DependencyFolding: true,
+		EagerEnabling:     false,
+		TailSwap:          true,
+	}
+}
+
+func (o *Options) normalize() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Throttle <= 0 {
+		o.Throttle = 4 * o.Workers
+	}
+}
+
+// Engine is a PIPER work-stealing scheduler instance: P workers, each with
+// a work-stealing deque, executing pipeline programs submitted through
+// PipeWhile.
+type Engine struct {
+	opts    Options
+	workers []*worker
+	stats   statCounters
+
+	globalMu sync.Mutex
+	global   []*frame
+
+	idle     atomic.Int64
+	wake     chan struct{}
+	closed   atomic.Bool
+	closedCh chan struct{}
+	wg       sync.WaitGroup
+
+	// tracing enables per-segment event capture (see trace.go).
+	tracing atomic.Bool
+}
+
+// NewEngine starts an engine with the given options.
+func NewEngine(opts Options) *Engine {
+	opts.normalize()
+	e := &Engine{
+		opts:     opts,
+		wake:     make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+	}
+	e.workers = make([]*worker, opts.Workers)
+	for i := range e.workers {
+		e.workers[i] = &worker{
+			eng:   e,
+			id:    i,
+			deque: deque.New[frame](64),
+			rng:   workload.NewRNG(uint64(i)*0x9e3779b9 + 1),
+		}
+	}
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go w.loop()
+	}
+	return e
+}
+
+// Options reports the engine's (normalized) configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Workers reports P.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Stats returns a snapshot of the scheduler counters.
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+
+// Close shuts the engine down. It must not be called while pipelines are
+// still running.
+func (e *Engine) Close() {
+	if e.closed.CompareAndSwap(false, true) {
+		close(e.closedCh)
+		e.wg.Wait()
+	}
+}
+
+// PipeWhile executes an on-the-fly pipeline: while cond() reports true, an
+// iteration running body is started. cond and the stage-0 prefix of body
+// (everything before the iteration's first Wait or Continue) execute
+// serially in iteration order; later stages run in parallel subject to the
+// cross edges declared by Wait. PipeWhile blocks until the pipeline
+// completes, and re-panics in the caller if any iteration panicked.
+func (e *Engine) PipeWhile(cond func() bool, body func(*Iter)) {
+	e.PipeWhileThrottled(e.opts.Throttle, cond, body)
+}
+
+// PipeWhileThrottled is PipeWhile with an explicit throttling limit K,
+// overriding the engine default (the paper uses K=10P for ferret and K=4P
+// elsewhere).
+func (e *Engine) PipeWhileThrottled(k int, cond func() bool, body func(*Iter)) {
+	e.RunPipeline(k, cond, body)
+}
+
+// PipelineReport summarizes one completed pipe_while execution.
+type PipelineReport struct {
+	// Iterations is the number of iterations the pipeline ran.
+	Iterations int64
+	// MaxLiveIterations is the peak count of simultaneously live
+	// iteration frames — the space quantity the throttling limit bounds
+	// (Theorems 11 and 13).
+	MaxLiveIterations int64
+	// FinalThrottle is the throttling limit at completion (interesting
+	// only for RunPipelineAdaptive).
+	FinalThrottle int64
+	// WorkNs and SpanNs are the measured work T1 and span T∞ of the
+	// pipeline dag in nanoseconds, populated only by ProfilePipeline
+	// (the Cilkview analogue; see instrument.go for the measurement
+	// semantics: span is an upper bound, so Parallelism is a lower
+	// bound).
+	WorkNs, SpanNs int64
+}
+
+// Parallelism returns the measured T1/T∞, or 0 for uninstrumented runs.
+func (r PipelineReport) Parallelism() float64 {
+	if r.SpanNs <= 0 {
+		return 0
+	}
+	return float64(r.WorkNs) / float64(r.SpanNs)
+}
+
+// RunPipeline is PipeWhileThrottled returning a space/shape report.
+func (e *Engine) RunPipeline(k int, cond func() bool, body func(*Iter)) PipelineReport {
+	return e.runPipeline(k, false, cond, body)
+}
+
+// ProfilePipeline runs the pipeline with work/span instrumentation
+// enabled, measuring the dag's T1 and T∞ like the modified Cilkview
+// analyzer of Section 10. Instrumentation costs two clock reads per
+// pipeline node.
+func (e *Engine) ProfilePipeline(k int, cond func() bool, body func(*Iter)) PipelineReport {
+	return e.runPipeline(k, true, cond, body)
+}
+
+func (e *Engine) runPipeline(k int, instrument bool, cond func() bool, body func(*Iter)) PipelineReport {
+	pl := e.newPipeline(k, cond, body, 1)
+	pl.instrument = instrument
+	return e.launch(pl)
+}
+
+// RunPipelineAdaptive runs a pipeline whose throttling window adapts
+// within [kMin, kMax]: it grows (doubling) whenever the pipeline is
+// window-bound while workers sit idle, and shrinks when the window is
+// mostly unused. This explores the throughput/space trade-off of
+// Section 11: on uniform pipelines it behaves like K = kMin, and on the
+// Figure 10 pathology it buys the speedup that a fixed Θ(P) window
+// provably cannot, at a space cost the report makes visible.
+func (e *Engine) RunPipelineAdaptive(kMin, kMax int, cond func() bool, body func(*Iter)) PipelineReport {
+	if kMin < 1 {
+		kMin = 1
+	}
+	if kMax < kMin {
+		kMax = kMin
+	}
+	pl := e.newPipeline(kMin, cond, body, 1)
+	pl.kMax = int64(kMax)
+	return e.launch(pl)
+}
+
+func (e *Engine) launch(pl *pipeline) PipelineReport {
+	if e.closed.Load() {
+		panic("piper: PipeWhile on closed engine")
+	}
+	pl.done = make(chan struct{})
+	e.inject(pl.control)
+	<-pl.done
+	if pb := pl.panicVal.Load(); pb != nil {
+		panic(pb.v)
+	}
+	return PipelineReport{
+		Iterations:        pl.nextIndex,
+		MaxLiveIterations: pl.maxLive.Load(),
+		FinalThrottle:     pl.K.Load(),
+		WorkNs:            pl.workNs.Load(),
+		SpanNs:            pl.spanNs.Load(),
+	}
+}
+
+// PipeWhile starts a pipeline nested inside the current iteration; the
+// iteration suspends until the nested pipeline completes. Nested pipelines
+// may not be started from stage 0 (the serial prologue).
+func (it *Iter) PipeWhile(cond func() bool, body func(*Iter)) {
+	if it.f.serial {
+		RunSerial(cond, body)
+		return
+	}
+	it.PipeWhileThrottled(it.f.eng.opts.Throttle, cond, body)
+}
+
+// PipeWhileThrottled is the nested PipeWhile with an explicit throttle.
+func (it *Iter) PipeWhileThrottled(k int, cond func() bool, body func(*Iter)) {
+	f := it.f
+	if f.serial {
+		RunSerial(cond, body) // serial elision applies recursively
+		return
+	}
+	if f.inStage0 {
+		panic("piper: nested pipelines may not be started from stage 0")
+	}
+	pl := f.eng.newPipeline(k, cond, body, f.pl.depth+1)
+	sc := &scope{owner: f}
+	sc.join.Store(1)
+	pl.parent = sc
+	f.w.pushWork(pl.control)
+	f.syncScope(sc)
+	if pb := pl.panicVal.Load(); pb != nil {
+		panic(pb.v)
+	}
+}
+
+func (e *Engine) newPipeline(k int, cond func() bool, body func(*Iter), depth int) *pipeline {
+	if k <= 0 {
+		k = e.opts.Throttle
+	}
+	pl := &pipeline{eng: e, cond: cond, body: body, depth: depth}
+	pl.K.Store(int64(k))
+	pl.kMin, pl.kMax = int64(k), int64(k)
+	// The control frame is a plain state-machine frame: workers execute
+	// pl.step directly, with no coroutine behind it.
+	cf := &frame{kind: kindControl, eng: e, pl: pl}
+	pl.control = cf
+	e.stats.pipelines.Add(1)
+	return pl
+}
+
+// inject queues a root frame for any worker to pick up.
+func (e *Engine) inject(f *frame) {
+	e.globalMu.Lock()
+	e.global = append(e.global, f)
+	e.globalMu.Unlock()
+	e.signal()
+}
+
+func (e *Engine) popGlobal() *frame {
+	e.globalMu.Lock()
+	defer e.globalMu.Unlock()
+	if len(e.global) == 0 {
+		return nil
+	}
+	f := e.global[0]
+	copy(e.global, e.global[1:])
+	e.global = e.global[:len(e.global)-1]
+	return f
+}
+
+// signal wakes one parked worker, if any.
+func (e *Engine) signal() {
+	if e.idle.Load() > 0 {
+		select {
+		case e.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// tryWakeRight performs PIPER's check-right on behalf of iteration f: if
+// iteration f.index+1 is parked on a cross edge that f's progress has
+// satisfied, claim it. The caller must deliver the returned frame.
+func (e *Engine) tryWakeRight(f *frame) *frame {
+	nxt := f.next.Load()
+	if nxt == nil || nxt.status.Load() != statusWaitCross {
+		return nil
+	}
+	j := nxt.waitStage.Load()
+	if f.stage.Load() > j && nxt.status.CompareAndSwap(statusWaitCross, statusRunning) {
+		return nxt
+	}
+	return nil
+}
+
+// --- worker ---------------------------------------------------------------
+
+type worker struct {
+	eng      *Engine
+	id       int
+	deque    *deque.Deque[frame]
+	assigned atomic.Pointer[frame]
+	rng      *workload.RNG
+
+	// events is the worker's trace buffer (see trace.go).
+	eventsMu sync.Mutex
+	events   []traceEvent
+}
+
+func (w *worker) loop() {
+	defer w.eng.wg.Done()
+	for {
+		f := w.findWork()
+		if f == nil {
+			return // engine closed
+		}
+		w.execute(f)
+	}
+}
+
+// pushWork makes f stealable on w's deque. Safe to call from the worker's
+// goroutine or from the coroutine segment it is currently driving.
+func (w *worker) pushWork(f *frame) {
+	w.deque.Push(f)
+	w.eng.signal()
+}
+
+// execute drives frames until the worker runs out of local work, following
+// PIPER's assigned-vertex rules at frame granularity.
+func (w *worker) execute(f *frame) {
+	for f != nil {
+		traceStart := int64(0)
+		if w.eng.tracing.Load() {
+			traceStart = nowNs()
+		}
+		switch f.kind {
+		case kindClosure:
+			w.eng.stats.closureTasks.Add(1)
+			runClosureTask(f, w)
+			w.traceSegment(f, traceStart)
+			f = w.afterClosure(f)
+
+		case kindControl:
+			w.assigned.Store(f)
+			msg := f.pl.step(f, w)
+			w.assigned.Store(nil)
+			w.traceSegment(f, traceStart)
+			switch msg.kind {
+			case ySpawn:
+				// The control frame is the continuation: push it for
+				// thieves (they will run iteration i+1's stage 0) and
+				// adopt the freshly spawned iteration, child-first.
+				w.pushWork(f)
+				f = msg.child
+			case ySuspend:
+				// Parked (throttled or syncing): the frame may already
+				// belong to a waker; do not touch it again.
+				f = w.deque.Pop()
+			case yDone:
+				f = w.afterDone(f)
+			}
+
+		default: // kindIter
+			w.assigned.Store(f)
+			msg := f.driveSegment(w)
+			w.assigned.Store(nil)
+			w.traceSegment(f, traceStart)
+			switch msg.kind {
+			case ySuspend:
+				f = w.afterSuspend(f)
+			case yDone:
+				f = w.afterDone(f)
+			default:
+				panic("piper: unexpected yield at worker level")
+			}
+		}
+	}
+}
+
+// afterSuspend applies lazy enabling when a segment parks: check right on
+// the suspended iteration, then fall back to the local deque.
+func (w *worker) afterSuspend(f *frame) *frame {
+	if f.kind == kindIter {
+		if nxt := w.eng.tryWakeRight(f); nxt != nil {
+			w.eng.stats.lazyEnables.Add(1)
+			return nxt
+		}
+	}
+	return w.deque.Pop()
+}
+
+// afterDone retires a finished frame and selects the next assigned frame:
+// check right, check parent (throttle release / final sync), tail swap.
+func (w *worker) afterDone(f *frame) *frame {
+	switch f.kind {
+	case kindIter:
+		right := w.eng.tryWakeRight(f)
+		if right != nil {
+			w.eng.stats.lazyEnables.Add(1)
+		}
+		ctrl := f.pl.onIterReturn()
+		f.next.Store(nil)
+		switch {
+		case right != nil && ctrl != nil:
+			if w.eng.opts.TailSwap {
+				// Tail swap: stay on the consecutive iteration for
+				// locality; the enabled control frame goes to the deque
+				// where it is immediately stealable (Lemma 4).
+				w.eng.stats.tailSwaps.Add(1)
+				w.pushWork(ctrl)
+				return right
+			}
+			w.pushWork(right)
+			return ctrl
+		case right != nil:
+			return right
+		case ctrl != nil:
+			return ctrl
+		}
+		return w.deque.Pop()
+	case kindControl:
+		pl := f.pl
+		if pl.parent != nil {
+			if owner := scopeUnitDone(pl.parent); owner != nil {
+				return owner
+			}
+			return w.deque.Pop()
+		}
+		close(pl.done)
+		return w.deque.Pop()
+	}
+	return w.deque.Pop()
+}
+
+// afterClosure retires a fork-join task.
+func (w *worker) afterClosure(f *frame) *frame {
+	if owner := scopeUnitDone(f.scope); owner != nil {
+		return owner
+	}
+	return w.deque.Pop()
+}
+
+// stealFrom raids one victim: first the lazy-enabling check-right on the
+// victim's assigned iteration (resuming implicitly enabled work "on the
+// victim's deque"), then the deque proper.
+func (w *worker) stealFrom(v *worker) *frame {
+	if a := v.assigned.Load(); a != nil && a.kind == kindIter {
+		if nxt := w.eng.tryWakeRight(a); nxt != nil {
+			w.eng.stats.thiefEnables.Add(1)
+			return nxt
+		}
+	}
+	if f := v.deque.Steal(); f != nil {
+		w.eng.stats.steals.Add(1)
+		return f
+	}
+	return nil
+}
+
+// findWork implements the thief loop: local deque, global queue, random
+// victims, then park with exponential backoff.
+func (w *worker) findWork() *frame {
+	e := w.eng
+	n := len(e.workers)
+	sleep := 20 * time.Microsecond
+	for {
+		if f := w.deque.Pop(); f != nil {
+			return f
+		}
+		if f := e.popGlobal(); f != nil {
+			return f
+		}
+		if n > 1 {
+			for round := 0; round < 2*n; round++ {
+				v := e.workers[w.rng.Intn(n)]
+				if v == w {
+					continue
+				}
+				if f := w.stealFrom(v); f != nil {
+					return f
+				}
+				e.stats.failedSteals.Add(1)
+			}
+		}
+		if e.closed.Load() {
+			return nil
+		}
+		// Park briefly; polling bounds the cost of any lost wakeup.
+		e.idle.Add(1)
+		select {
+		case <-e.wake:
+		case <-e.closedCh:
+		case <-time.After(sleep):
+			if sleep < 500*time.Microsecond {
+				sleep *= 2
+			}
+		}
+		e.idle.Add(-1)
+	}
+}

@@ -1,0 +1,237 @@
+// Package core implements PIPER, the provably efficient work-stealing
+// scheduler for on-the-fly pipeline programs from Lee et al., "On-the-Fly
+// Pipeline Parallelism" (SPAA 2013), adapted to Go.
+//
+// The scheduler executes "frames": control frames (one per pipe_while
+// loop), iteration frames (one per loop iteration), and closure frames
+// (fork-join tasks). Control and iteration frames own a coroutine — a
+// goroutine that runs user code and yields to the scheduler over a pair of
+// unbuffered channels at suspension points. A worker "executes" a frame by
+// resuming its coroutine and blocking until it yields; because the worker
+// goroutine is blocked on a channel while the frame runs, exactly the
+// runnable segments occupy CPUs and the scheduler retains PIPER's
+// bind-to-element structure, throttling, and deque discipline.
+package core
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+type frameKind int8
+
+const (
+	kindControl frameKind = iota
+	kindIter
+	kindClosure
+)
+
+// Frame status values. Parked frames are owned by nobody; a waker claims a
+// parked frame with a CAS from its parked status to statusRunnable and is
+// then solely responsible for delivering it to a worker.
+const (
+	statusRunning   int32 = iota // executing, assigned, or queued on a deque
+	statusWaitCross              // iteration parked on an unsatisfied cross edge
+	statusWaitScope              // coroutine parked in a fork-join sync or nested pipe
+	statusThrottled              // control parked: live iterations == K
+	statusSyncing                // control parked: waiting for iterations to return
+	statusDone
+)
+
+// yieldKind enumerates the messages a frame's coroutine sends its driver.
+type yieldKind int8
+
+const (
+	yDone       yieldKind = iota // frame finished
+	ySpawn                       // control: a runnable iteration left stage 0
+	ySuspend                     // frame parked (status says why)
+	yLeftStage0                  // iteration: left the serial stage-0 prefix, still runnable
+)
+
+type yieldMsg struct {
+	kind  yieldKind
+	child *frame // for ySpawn
+}
+
+const stageDone = math.MaxInt64
+
+// frame is the unit of scheduling. One struct type covers all three kinds
+// so the work-stealing deque stays monomorphic.
+type frame struct {
+	kind frameKind
+	eng  *Engine
+
+	// Coroutine machinery (control and iteration frames).
+	resume  chan struct{}
+	yield   chan yieldMsg
+	started bool
+	body    func(f *frame)
+
+	// w is the worker currently driving this frame's segment. It is set by
+	// driveSegment before the coroutine resumes and is stable for the
+	// duration of the segment; user code pushes spawned tasks onto w's
+	// deque through it.
+	w *worker
+
+	// Iteration state.
+	pl        *pipeline
+	index     int64
+	stage     atomic.Int64 // all nodes with stage < this value are complete
+	status    atomic.Int32
+	waitStage atomic.Int64          // valid while status == statusWaitCross
+	next      atomic.Pointer[frame] // iteration index+1, set by the control frame
+	prev      *frame                // iteration index-1; runner-local, nil once satisfied-done
+	inStage0  bool                  // runner-local: still in the serial stage-0 prefix
+
+	// Dependency folding: the most recently observed value of prev's stage
+	// counter. Runner-local, so reads cost nothing.
+	foldCache int64
+	// Runner-local stat shadows, flushed to the engine at finish.
+	nFoldHits, nCrossChecks int64
+
+	// Work/span instrumentation (see instrument.go). nodeStart, curCrit,
+	// workAcc and prevCritCursor are runner-local; critLog is the
+	// published per-node critical-path log read by the successor.
+	instrOn        bool
+	nodeStart      int64
+	curCrit        int64
+	workAcc        int64
+	prevCritCursor int
+	critLog        critLog
+
+	// serial marks a frame driven by RunSerial: no coroutine, no
+	// scheduler, stage calls only advance the counter.
+	serial bool
+
+	// Closure state.
+	fn    func(w *worker)
+	scope *scope
+
+	// curScope accumulates children spawned with Go until the next Sync.
+	// Runner-local.
+	curScope *scope
+
+	// Scope this coroutine is parked on (valid while status==statusWaitScope).
+	waitingScope atomic.Pointer[scope]
+
+	// panicked carries a user panic out of the coroutine.
+	panicked any
+}
+
+func newCoroutineFrame(eng *Engine, kind frameKind, body func(*frame)) *frame {
+	return &frame{
+		kind:   kind,
+		eng:    eng,
+		resume: make(chan struct{}),
+		yield:  make(chan yieldMsg),
+		body:   body,
+	}
+}
+
+// driveSegment resumes the frame's coroutine and blocks until it yields.
+// It may be called from a worker's goroutine or, for an iteration's
+// stage-0 segment, from the control frame's coroutine.
+func (f *frame) driveSegment(w *worker) yieldMsg {
+	f.w = w
+	w.eng.stats.segments.Add(1)
+	if !f.started {
+		f.started = true
+		go f.corun()
+	}
+	f.resume <- struct{}{}
+	return <-f.yield
+}
+
+// corun is the body of the frame's coroutine goroutine.
+func (f *frame) corun() {
+	<-f.resume
+	f.instrBeginIteration()
+	defer func() {
+		if r := recover(); r != nil {
+			f.panicked = r
+			if f.pl != nil {
+				f.pl.recordPanic(r)
+			}
+			f.finishIter()
+			f.yield <- yieldMsg{kind: yDone}
+		}
+	}()
+	f.body(f)
+	f.finishIter()
+	f.yield <- yieldMsg{kind: yDone}
+}
+
+// finishIter publishes iteration completion: every cross edge out of this
+// iteration is now satisfied.
+func (f *frame) finishIter() {
+	if f.kind == kindIter {
+		f.instrFinishIteration()
+		f.stage.Store(stageDone)
+		f.prev = nil
+		f.eng.stats.crossChecks.Add(f.nCrossChecks)
+		f.eng.stats.foldHits.Add(f.nFoldHits)
+	}
+	f.status.Store(statusDone)
+}
+
+// park yields the given suspend message and blocks until a worker resumes
+// the frame. The caller must already have published the parked status and
+// re-checked its condition (or lost a claiming CAS to a waker).
+func (f *frame) park(msg yieldMsg) {
+	f.yield <- msg
+	<-f.resume
+}
+
+// --- Cross-edge protocol -------------------------------------------------
+
+// advance moves the iteration's stage counter to j, completing all nodes
+// with stage < j. Under the EagerEnabling ablation it also performs the
+// check-right that PIPER's lazy enabling would defer.
+func (f *frame) advance(j int64) {
+	f.stage.Store(j)
+	if f.eng.opts.EagerEnabling {
+		if nxt := f.eng.tryWakeRight(f); nxt != nil {
+			f.eng.stats.eagerEnables.Add(1)
+			f.w.pushWork(nxt)
+		}
+	}
+}
+
+// crossSatisfied reports whether node (index-1, j) has completed, i.e.
+// whether the cross edge into node (index, j) is resolved. It consults the
+// dependency-folding cache first when the optimization is enabled.
+func (f *frame) crossSatisfied(j int64) bool {
+	p := f.prev
+	if p == nil {
+		return true
+	}
+	if f.eng.opts.DependencyFolding && f.foldCache > j {
+		f.nFoldHits++
+		return true
+	}
+	f.nCrossChecks++
+	c := p.stage.Load()
+	f.foldCache = c
+	if c == stageDone {
+		// Release the chain for the garbage collector — except under
+		// instrumentation, which still needs the predecessor's crit log.
+		if !f.instrOn {
+			f.prev = nil
+		}
+		return true
+	}
+	return c > j
+}
+
+// crossSatisfiedSlow re-reads the shared counter, bypassing the folding
+// cache (required for the recheck in the parking protocol).
+func (f *frame) crossSatisfiedSlow(j int64) bool {
+	p := f.prev
+	if p == nil {
+		return true
+	}
+	f.nCrossChecks++
+	c := p.stage.Load()
+	f.foldCache = c
+	return c > j
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Work/span instrumentation: the Cilkview analogue of Section 10 ("We
+// modified the Cilkview scalability analyzer to measure the work and span
+// of our hand-compiled Cilk-P dedup programs, observing a parallelism of
+// merely 7.4"). When a pipeline runs instrumented, every node's execution
+// time is measured; the work T1 is the sum over nodes and the span T∞ is
+// computed online with the dag recurrence
+//
+//	crit(i, j) = max(crit(i, j-1), crit(i-1, j)) + w(i, j).
+//
+// The cross-predecessor term crit(i-1, j) must be the predecessor's
+// critical path at the completion of *its node j*, not at whatever node
+// it has reached by the time the successor looks — so every frame
+// publishes an append-only log of (stage, crit) pairs, one entry per
+// node, and readers walk it with a monotone cursor. Time spent suspended
+// does not count toward any node.
+//
+// Fork-join work inside a node is attributed to the node by wall clock,
+// which undercounts its work and overcounts its span contribution when
+// children actually ran elsewhere; the three PARSEC ports use fork-join
+// only in x264's B-frame stage.
+
+// nowNs is the monotonic instrumentation clock.
+func nowNs() int64 { return int64(time.Since(instrEpoch)) }
+
+var instrEpoch = time.Now()
+
+// critEntry records the critical path through the node that ended when
+// the iteration's stage counter advanced to Stage.
+type critEntry struct {
+	stage int64
+	crit  int64
+}
+
+// critLog is a single-writer, many-reader append-only log. The writer is
+// the frame's runner; readers are the successor iteration. Entries are
+// ordered by strictly increasing stage.
+type critLog struct {
+	buf atomic.Pointer[[]critEntry]
+	n   atomic.Int32
+}
+
+// append publishes one entry. Single writer only.
+func (l *critLog) append(stage, crit int64) {
+	buf := l.buf.Load()
+	n := int(l.n.Load())
+	if buf == nil || n == len(*buf) {
+		capacity := 16
+		if buf != nil {
+			capacity = 2 * len(*buf)
+		}
+		bigger := make([]critEntry, capacity)
+		if buf != nil {
+			copy(bigger, *buf)
+		}
+		l.buf.Store(&bigger)
+		buf = &bigger
+	}
+	(*buf)[n] = critEntry{stage: stage, crit: crit}
+	l.n.Store(int32(n + 1))
+}
+
+// critAfter returns the critical path of the first logged node whose
+// post-advance stage exceeds j — i.e. the completion of node j, null
+// nodes collapsing onto the last real node before them exactly as in the
+// dag semantics. cursor is the reader's monotone position hint.
+func (l *critLog) critAfter(j int64, cursor *int) (int64, bool) {
+	n := int(l.n.Load())
+	buf := l.buf.Load()
+	if buf == nil {
+		return 0, false
+	}
+	for k := *cursor; k < n; k++ {
+		if e := (*buf)[k]; e.stage > j {
+			*cursor = k
+			return e.crit, true
+		}
+	}
+	*cursor = n
+	return 0, false
+}
+
+// instrBeginIteration initializes the iteration's node clock at the start
+// of stage 0, inheriting the critical path of the predecessor's stage-0
+// node (stage 0s are serialized by the control frame, so the
+// predecessor's first log entry exists when we start).
+func (f *frame) instrBeginIteration() {
+	if !f.instrOn {
+		return
+	}
+	if p := f.prev; p != nil {
+		if c, ok := p.critLog.critAfter(0, &f.prevCritCursor); ok {
+			f.curCrit = c
+		}
+	}
+	f.nodeStart = nowNs()
+}
+
+// instrEndNode closes the current node as the stage counter is about to
+// advance to newStage: accumulate the node's duration into the
+// iteration's work and publish the end-of-node critical path. Must run
+// before the advance so any successor that observes the new counter also
+// finds the log entry.
+func (f *frame) instrEndNode(newStage int64) {
+	if !f.instrOn {
+		return
+	}
+	now := nowNs()
+	dur := now - f.nodeStart
+	f.workAcc += dur
+	f.curCrit += dur
+	f.critLog.append(newStage, f.curCrit)
+	f.nodeStart = now
+}
+
+// instrBeginNode opens node j after a Wait resolved (cross == true) or a
+// Continue (cross == false): the node's start clock excludes parked time,
+// and a cross edge merges the predecessor's critical path at node j.
+func (f *frame) instrBeginNode(cross bool, j int64) {
+	if !f.instrOn {
+		return
+	}
+	if cross {
+		if p := f.prev; p != nil {
+			if c, ok := p.critLog.critAfter(j, &f.prevCritCursor); ok && c > f.curCrit {
+				f.curCrit = c
+			}
+		}
+	}
+	f.nodeStart = nowNs()
+}
+
+// instrFinishIteration closes the final node and folds the iteration's
+// totals into the pipeline. It must run before the stage counter is set
+// to stageDone.
+func (f *frame) instrFinishIteration() {
+	if !f.instrOn {
+		return
+	}
+	f.instrEndNode(stageDone)
+	pl := f.pl
+	pl.workNs.Add(f.workAcc)
+	for {
+		m := pl.spanNs.Load()
+		if f.curCrit <= m || pl.spanNs.CompareAndSwap(m, f.curCrit) {
+			return
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// pipeline is the runtime state of one pipe_while loop.
+type pipeline struct {
+	eng  *Engine
+	cond func() bool
+	body func(it *Iter)
+
+	// K is the throttling limit: at most K iteration frames are live.
+	// It is atomic because the adaptive-throttling policy (an extension
+	// prompted by the paper's Section 11 discussion) lets the control
+	// frame adjust it while other workers read it at iteration return.
+	K atomic.Int64
+	// kMin/kMax bound the adaptive window; kMin == kMax disables
+	// adaptation.
+	kMin, kMax int64
+	// join counts live (started, unreturned) iteration frames, plus the
+	// paper's control-frame join-counter role.
+	join atomic.Int64
+
+	control *frame
+
+	// parent is the scope a nested pipe_while completes into; nil for a
+	// top-level pipeline, which signals done instead.
+	parent *scope
+	done   chan struct{}
+
+	// depth is the pipe-nesting depth D of this loop (1 = top level).
+	depth int
+
+	nextIndex int64
+
+	// Control-frame state machine (executed directly on worker
+	// goroutines; serialized by frame ownership).
+	phase    int8
+	prevIter *frame
+
+	// Work/span instrumentation (see instrument.go).
+	instrument bool
+	workNs     atomic.Int64
+	spanNs     atomic.Int64
+
+	panicOnce sync.Once
+	panicVal  atomic.Pointer[panicBox]
+
+	// maxLive tracks the observed maximum of join for the space
+	// experiments (Theorem 13): live iteration frames ≈ iteration stack
+	// space.
+	maxLive atomic.Int64
+}
+
+// Control phases.
+const (
+	phaseLoop  int8 = iota // spawning iterations
+	phaseDrain             // loop condition exhausted; syncing children
+)
+
+type panicBox struct{ v any }
+
+func (pl *pipeline) recordPanic(v any) {
+	pl.panicOnce.Do(func() { pl.panicVal.Store(&panicBox{v: v}) })
+}
+
+func (pl *pipeline) panicked() bool { return pl.panicVal.Load() != nil }
+
+// Iter is the per-iteration handle passed to the pipeline body. Its
+// methods must be called from the body's goroutine only.
+type Iter struct {
+	f *frame
+}
+
+// Index reports the iteration number, starting at 0.
+func (it *Iter) Index() int64 { return it.f.index }
+
+// Stage reports the stage number of the node currently executing.
+func (it *Iter) Stage() int64 {
+	s := it.f.stage.Load()
+	return s
+}
+
+// Engine returns the engine executing this iteration, for spawning nested
+// pipelines.
+func (it *Iter) Engine() *Engine { return it.f.eng }
+
+func (it *Iter) checkStageArg(j int64) {
+	if cur := it.f.stage.Load(); j <= cur {
+		panic(fmt.Sprintf("piper: stage arguments must strictly increase: at stage %d, requested %d", cur, j))
+	}
+	if j >= stageDone {
+		panic("piper: stage number too large")
+	}
+}
+
+// Wait implements pipe_wait(j): end the current node and begin node
+// (i, j) once node (i-1, j) of the previous iteration has completed.
+func (it *Iter) Wait(j int64) {
+	f := it.f
+	it.checkStageArg(j)
+	if f.serial {
+		f.serialAdvance(j)
+		return
+	}
+	f.instrEndNode(j)
+	f.advance(j)
+	left0 := f.inStage0
+	f.inStage0 = false
+	if f.crossSatisfied(j) {
+		if left0 {
+			// Hand control back to the pipe_while loop so iteration i+1's
+			// serial stage 0 can start; the driving worker re-adopts us as
+			// its assigned frame (spawned-child-first discipline).
+			f.park(yieldMsg{kind: yLeftStage0})
+		}
+		f.instrBeginNode(true, j)
+		return
+	}
+	f.parkOnCross(j)
+	f.instrBeginNode(true, j)
+}
+
+// Continue implements pipe_continue(j): end the current node and begin
+// node (i, j) immediately.
+func (it *Iter) Continue(j int64) {
+	f := it.f
+	it.checkStageArg(j)
+	if f.serial {
+		f.serialAdvance(j)
+		return
+	}
+	f.instrEndNode(j)
+	f.advance(j)
+	if f.inStage0 {
+		f.inStage0 = false
+		f.park(yieldMsg{kind: yLeftStage0})
+	}
+	f.instrBeginNode(false, j)
+}
+
+// WaitNext is Wait with the implicit stage argument j+1.
+func (it *Iter) WaitNext() { it.Wait(it.f.stage.Load() + 1) }
+
+// ContinueNext is Continue with the implicit stage argument j+1.
+func (it *Iter) ContinueNext() { it.Continue(it.f.stage.Load() + 1) }
+
+// parkOnCross publishes the waiting state and parks unless the edge
+// resolved in the meantime (publish-then-recheck; see frame.go). Wakes
+// can be spurious — a check-right that loaded the waitStage of an older
+// park of this frame may claim a newer park whose edge is still
+// unresolved (an ABA on the status word) — so the condition is
+// re-validated after every wake and the frame re-parks if needed, the
+// standard condition-variable discipline.
+func (f *frame) parkOnCross(j int64) {
+	for {
+		f.waitStage.Store(j)
+		f.status.Store(statusWaitCross)
+		if f.crossSatisfiedSlow(j) {
+			if f.status.CompareAndSwap(statusWaitCross, statusRunning) {
+				return
+			}
+			// Lost the CAS to a waker: it will deliver us, so park to
+			// pair with its resume.
+		}
+		f.eng.stats.crossSuspends.Add(1)
+		f.park(yieldMsg{kind: ySuspend})
+		if f.crossSatisfiedSlow(j) {
+			return
+		}
+		// Spurious wake: publish and park again.
+	}
+}
+
+// newIter creates the frame for the next iteration and links it into the
+// neighbour chain.
+func (pl *pipeline) newIter(prev *frame) *frame {
+	f := newCoroutineFrame(pl.eng, kindIter, nil)
+	f.pl = pl
+	f.index = pl.nextIndex
+	f.inStage0 = true
+	f.instrOn = pl.instrument
+	f.prev = prev
+	pl.nextIndex++
+	f.body = func(f *frame) {
+		pl.body(&Iter{f: f})
+		// Implicit cilk_sync: every Cilk function syncs before returning,
+		// so children spawned with Go but never Synced join here.
+		if sc := f.curScope; sc != nil {
+			f.curScope = nil
+			f.syncScope(sc)
+		}
+	}
+	if prev != nil {
+		prev.next.Store(f)
+	}
+	pl.eng.stats.iterations.Add(1)
+	return f
+}
+
+// step executes the pipe_while control frame. Unlike iterations, the
+// control loop is pure runtime code, so it runs as a state machine
+// directly on the worker's goroutine (no coroutine, no handoffs): it
+// evaluates the loop condition, drives each iteration's serial stage-0
+// prefix in order, spawns the remainder of the iteration, enforces the
+// throttling limit, and finally syncs on all outstanding iterations.
+//
+// step returns ySpawn{child} when a runnable iteration left stage 0 (the
+// caller pushes the control frame and adopts the child), ySuspend when
+// the control frame parked (throttled or syncing; a waker will redeliver
+// it, possibly while this call is still unwinding — the caller must not
+// touch the frame after a suspend), and yDone at pipeline completion.
+func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
+	cf.w = w
+	pl.eng.stats.segments.Add(1)
+	for {
+		if pl.phase == phaseLoop {
+			if pl.panicked() {
+				pl.phase = phaseDrain
+				continue
+			}
+			// Throttle before testing the loop condition: the condition
+			// is part of the next iteration's serial stage 0, and its
+			// evaluation may consume an input element, so it must run
+			// exactly once per started iteration.
+			if k := pl.K.Load(); pl.join.Load() >= k {
+				// Adaptive throttling: if the machine is starving (idle
+				// workers) while this pipeline is window-bound, trade
+				// space for parallelism, up to kMax. This is the
+				// Section 11 trade-off made explicit: on the Figure 10
+				// pathology a Θ(P) window caps speedup near 3, and any
+				// scheduler that does better must hold more iterations
+				// live.
+				if k < pl.kMax && pl.eng.idle.Load() > 0 {
+					pl.K.Store(minInt64(2*k, pl.kMax))
+					pl.eng.stats.throttleGrows.Add(1)
+					continue
+				}
+				cf.status.Store(statusThrottled)
+				if pl.join.Load() < pl.K.Load() {
+					if cf.status.CompareAndSwap(statusThrottled, statusRunning) {
+						continue // unparked ourselves
+					}
+					// A waker claimed the frame and is delivering it; it
+					// is no longer ours.
+					return yieldMsg{kind: ySuspend}
+				}
+				pl.eng.stats.throttleParks.Add(1)
+				return yieldMsg{kind: ySuspend}
+			}
+			if !pl.safeCond() {
+				pl.phase = phaseDrain
+				continue
+			}
+			live := pl.join.Add(1)
+			for {
+				m := pl.maxLive.Load()
+				if live <= m || pl.maxLive.CompareAndSwap(m, live) {
+					break
+				}
+			}
+			// Adaptive shrink: reclaim space when the window is mostly
+			// unused (sampled; the control frame is the only writer).
+			if k := pl.K.Load(); k > pl.kMin && pl.nextIndex%32 == 31 && live < k/4 {
+				pl.K.Store(maxInt64(k/2, pl.kMin))
+				pl.eng.stats.throttleShrinks.Add(1)
+			}
+
+			it := pl.newIter(pl.prevIter)
+			pl.prevIter = it
+			// Drive the iteration's stage-0 segment from here; stage 0
+			// runs serially in iteration order, exactly as the pipe_while
+			// transformation in the paper prescribes.
+			msg := it.driveSegment(w)
+			switch msg.kind {
+			case yDone:
+				// The whole body was stage 0 (or it panicked): retire
+				// inline.
+				pl.join.Add(-1)
+			case ySuspend:
+				// Parked straight out of stage 0 on a cross edge; a
+				// future check-right will resume it. Keep looping.
+			case yLeftStage0:
+				// Runnable beyond stage 0: the worker pushes this control
+				// frame (the continuation) and adopts the iteration —
+				// thieves steal the continuation and run iteration i+1's
+				// stage 0, unfolding the pipeline.
+				return yieldMsg{kind: ySpawn, child: it}
+			}
+			continue
+		}
+		// phaseDrain — cilk_sync: wait for outstanding iterations.
+		if pl.join.Load() > 0 {
+			cf.status.Store(statusSyncing)
+			if pl.join.Load() == 0 {
+				if cf.status.CompareAndSwap(statusSyncing, statusRunning) {
+					return yieldMsg{kind: yDone}
+				}
+				return yieldMsg{kind: ySuspend}
+			}
+			return yieldMsg{kind: ySuspend}
+		}
+		return yieldMsg{kind: yDone}
+	}
+}
+
+// safeCond evaluates the user's loop condition, converting a panic into
+// pipeline panic state (the condition runs on a worker goroutine).
+func (pl *pipeline) safeCond() (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			pl.recordPanic(r)
+			ok = false
+		}
+	}()
+	return pl.cond()
+}
+
+// onIterReturn performs the bookkeeping when an iteration frame returns:
+// decrement the join counter and, if that enables the parked control frame
+// (throttle release or final sync), claim it. Returns the control frame if
+// the caller is now responsible for delivering it.
+func (pl *pipeline) onIterReturn() *frame {
+	n := pl.join.Add(-1)
+	cf := pl.control
+	switch cf.status.Load() {
+	case statusThrottled:
+		if n < pl.K.Load() && cf.status.CompareAndSwap(statusThrottled, statusRunning) {
+			return cf
+		}
+	case statusSyncing:
+		if n == 0 && cf.status.CompareAndSwap(statusSyncing, statusRunning) {
+			return cf
+		}
+	}
+	return nil
+}
+
+// MaxLiveIterations reports the maximum number of simultaneously live
+// iteration frames observed, the quantity bounded by the throttling
+// analysis (Theorem 11 / Theorem 13).
+func (pl *pipeline) MaxLiveIterations() int64 { return pl.maxLive.Load() }
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose 5–20× slowdown makes wall-clock timing assertions meaningless.
+const raceEnabled = true

@@ -1,0 +1,29 @@
+package core
+
+// RunSerial executes a pipeline body with pipe_while semantics on the
+// calling goroutine, with no scheduler at all: Wait and Continue only
+// advance the stage counter (there is no previous iteration running, so
+// every cross edge is vacuously satisfied the moment it is declared).
+// This is the TS baseline of the paper's tables — the "serial
+// counterpart" a speedup is measured against — and doubles as a
+// debugging mode: any stage-discipline violation (non-increasing stages)
+// panics identically to the parallel execution.
+func RunSerial(cond func() bool, body func(*Iter)) PipelineReport {
+	f := &frame{kind: kindIter, serial: true}
+	it := &Iter{f: f}
+	var n int64
+	for cond() {
+		f.index = n
+		f.stage.Store(0)
+		f.inStage0 = true
+		body(it)
+		n++
+	}
+	return PipelineReport{Iterations: n, MaxLiveIterations: 1}
+}
+
+// serialWait is the Wait/Continue path for RunSerial frames.
+func (f *frame) serialAdvance(j int64) {
+	f.stage.Store(j)
+	f.inStage0 = false
+}

@@ -1,0 +1,95 @@
+package core
+
+import "sync/atomic"
+
+// Stats aggregates scheduler event counters. All fields are monotone
+// within a single Engine lifetime. They exist so that the runtime
+// optimizations the paper describes (lazy enabling, dependency folding,
+// tail swapping) are observable and testable, not just asserted.
+type Stats struct {
+	// Steals counts successful deque steals.
+	Steals int64
+	// FailedSteals counts steal attempts that found nothing.
+	FailedSteals int64
+	// LazyEnables counts suspended frames resumed by a check-right or
+	// check-parent performed at a segment boundary (lazy enabling).
+	LazyEnables int64
+	// ThiefEnables counts suspended frames resumed by a thief performing
+	// check-right on a victim's assigned frame.
+	ThiefEnables int64
+	// EagerEnables counts wakeups performed inside Wait/Continue when the
+	// EagerEnabling ablation option is set.
+	EagerEnables int64
+	// TailSwaps counts iteration completions where both the right
+	// neighbour and the throttled control frame were enabled and the
+	// worker kept the neighbour, pushing the control frame for thieves.
+	TailSwaps int64
+	// CrossSuspends counts iterations that parked on an unsatisfied
+	// cross edge.
+	CrossSuspends int64
+	// ThrottleParks counts control-frame suspensions due to the
+	// throttling limit K.
+	ThrottleParks int64
+	// ThrottleGrows and ThrottleShrinks count adaptive window
+	// adjustments (RunPipelineAdaptive).
+	ThrottleGrows, ThrottleShrinks int64
+	// ScopeSuspends counts fork-join syncs that had to park because
+	// children were stolen.
+	ScopeSuspends int64
+	// CrossChecks counts reads of a predecessor's shared stage counter.
+	CrossChecks int64
+	// FoldHits counts cross-edge checks answered from the dependency-
+	// folding cache without touching the shared counter.
+	FoldHits int64
+	// Iterations counts pipeline iterations started.
+	Iterations int64
+	// Segments counts coroutine segments driven by workers.
+	Segments int64
+	// Pipelines counts pipe_while loops executed (including nested).
+	Pipelines int64
+	// ClosureTasks counts spawned fork-join tasks executed.
+	ClosureTasks int64
+}
+
+// statCounters is the atomic backing store inside the engine.
+type statCounters struct {
+	steals          atomic.Int64
+	failedSteals    atomic.Int64
+	lazyEnables     atomic.Int64
+	thiefEnables    atomic.Int64
+	eagerEnables    atomic.Int64
+	tailSwaps       atomic.Int64
+	crossSuspends   atomic.Int64
+	throttleParks   atomic.Int64
+	throttleGrows   atomic.Int64
+	throttleShrinks atomic.Int64
+	scopeSuspends   atomic.Int64
+	crossChecks     atomic.Int64
+	foldHits        atomic.Int64
+	iterations      atomic.Int64
+	segments        atomic.Int64
+	pipelines       atomic.Int64
+	closureTasks    atomic.Int64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		Steals:          c.steals.Load(),
+		FailedSteals:    c.failedSteals.Load(),
+		LazyEnables:     c.lazyEnables.Load(),
+		ThiefEnables:    c.thiefEnables.Load(),
+		EagerEnables:    c.eagerEnables.Load(),
+		TailSwaps:       c.tailSwaps.Load(),
+		CrossSuspends:   c.crossSuspends.Load(),
+		ThrottleParks:   c.throttleParks.Load(),
+		ThrottleGrows:   c.throttleGrows.Load(),
+		ThrottleShrinks: c.throttleShrinks.Load(),
+		ScopeSuspends:   c.scopeSuspends.Load(),
+		CrossChecks:     c.crossChecks.Load(),
+		FoldHits:        c.foldHits.Load(),
+		Iterations:      c.iterations.Load(),
+		Segments:        c.segments.Load(),
+		Pipelines:       c.pipelines.Load(),
+		ClosureTasks:    c.closureTasks.Load(),
+	}
+}

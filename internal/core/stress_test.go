@@ -1,0 +1,92 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"piper/internal/workload"
+)
+
+// TestSpuriousWakeRegression stresses the ABA scenario fixed in
+// parkOnCross: a thief's check-right that read the waitStage of an older
+// park must not let a newer park proceed before its cross edge resolves.
+// Iterations park repeatedly at increasing stages while many workers
+// steal; the serial chain check fails if any Wait returns early.
+func TestSpuriousWakeRegression(t *testing.T) {
+	e := newTestEngine(t, 8)
+	const n, stages = 400, 24
+	// chain[j] = last iteration whose node (i, j) completed; a premature
+	// wake lets iteration i run stage j before chain[j] == i-1.
+	var chain [stages + 1]atomic.Int64
+	for j := range chain {
+		chain[j].Store(-1)
+	}
+	for rep := 0; rep < 3; rep++ {
+		for j := range chain {
+			chain[j].Store(-1)
+		}
+		i := 0
+		e.PipeWhile(func() bool { return i < n }, func(it *Iter) {
+			idx := it.Index()
+			i++
+			r := workload.NewRNG(uint64(idx) * 977)
+			for j := int64(1); j <= stages; j++ {
+				it.Wait(j)
+				if c := chain[j].Load(); c != idx-1 {
+					t.Errorf("iteration %d entered stage %d with chain at %d", idx, j, c)
+				}
+				if r.Intn(4) == 0 {
+					runtime.Gosched()
+				}
+				chain[j].Store(idx)
+			}
+		})
+	}
+}
+
+// TestManySuspendResumeCycles drives frames through thousands of
+// park/unpark transitions to shake delivery races.
+func TestManySuspendResumeCycles(t *testing.T) {
+	e := newTestEngine(t, 4)
+	const n = 150
+	var total atomic.Int64
+	for rep := 0; rep < 5; rep++ {
+		i := 0
+		e.PipeWhile(func() bool { return i < n }, func(it *Iter) {
+			i++
+			for j := int64(1); j <= 40; j++ {
+				it.Wait(j)
+			}
+			total.Add(1)
+		})
+	}
+	if total.Load() != 5*n {
+		t.Fatalf("total = %d", total.Load())
+	}
+	if e.Stats().CrossSuspends == 0 {
+		t.Log("note: no suspensions observed (schedule-dependent)")
+	}
+}
+
+// TestThrottleChurn alternates tiny throttle limits with slow iterations
+// to stress the control frame's park/claim protocol.
+func TestThrottleChurn(t *testing.T) {
+	e := newTestEngine(t, 4)
+	for _, k := range []int{1, 2, 3} {
+		var done atomic.Int64
+		i := 0
+		e.PipeWhileThrottled(k, func() bool { return i < 120 }, func(it *Iter) {
+			i++
+			it.Continue(1)
+			runtime.Gosched()
+			done.Add(1)
+		})
+		if done.Load() != 120 {
+			t.Fatalf("K=%d: done = %d", k, done.Load())
+		}
+	}
+	if e.Stats().ThrottleParks == 0 {
+		t.Fatal("expected throttle parks with K=1")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Worker trace buffers are guarded by a per-worker mutex: a worker whose
+// control-frame step lost a park CAS may append its (inert) segment event
+// a beat after another worker completed the pipeline, so StopTrace cannot
+// assume quiescence of every buffer.
+
+// Execution tracing: records one event per executed segment (iteration
+// slice, control step, fork-join task) per worker and exports them in the
+// Chrome trace-event format (load chrome://tracing or https://ui.perfetto.dev),
+// so pipeline schedules — stage waves, steals unfolding iterations across
+// workers, throttling gaps — can be inspected visually.
+
+// traceEvent is one completed segment on a worker's timeline.
+type traceEvent struct {
+	name  string
+	start int64 // ns
+	dur   int64 // ns
+}
+
+// StartTrace begins capturing segment events. Tracing adds two clock
+// reads and one append per segment; events accumulate until StopTrace.
+func (e *Engine) StartTrace() {
+	for _, w := range e.workers {
+		w.eventsMu.Lock()
+		w.events = w.events[:0]
+		w.eventsMu.Unlock()
+	}
+	e.tracing.Store(true)
+}
+
+// StopTrace ends capture and writes a Chrome trace-event JSON array with
+// one thread per worker. It must be called while the engine is idle (no
+// pipelines in flight).
+func (e *Engine) StopTrace(out io.Writer) error {
+	e.tracing.Store(false)
+	type chromeEvent struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`  // microseconds
+		Dur  float64 `json:"dur"` // microseconds
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	}
+	var evs []chromeEvent
+	for _, w := range e.workers {
+		w.eventsMu.Lock()
+		for _, ev := range w.events {
+			evs = append(evs, chromeEvent{
+				Name: ev.name,
+				Ph:   "X",
+				Ts:   float64(ev.start) / 1e3,
+				Dur:  float64(ev.dur) / 1e3,
+				Pid:  1,
+				Tid:  w.id,
+			})
+		}
+		w.eventsMu.Unlock()
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(evs)
+}
+
+// traceSegment records one finished segment on worker w.
+func (w *worker) traceSegment(f *frame, start int64) {
+	if !w.eng.tracing.Load() {
+		return
+	}
+	var name string
+	switch f.kind {
+	case kindControl:
+		name = "pipe_while control"
+	case kindIter:
+		name = fmt.Sprintf("iter %d", f.index)
+	default:
+		name = "task"
+	}
+	w.eventsMu.Lock()
+	w.events = append(w.events, traceEvent{name: name, start: start, dur: nowNs() - start})
+	w.eventsMu.Unlock()
+}

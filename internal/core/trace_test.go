@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceCapturesSegments(t *testing.T) {
+	e := newTestEngine(t, 2)
+	e.StartTrace()
+	i := 0
+	e.PipeWhile(func() bool { return i < 20 }, func(it *Iter) {
+		i++
+		it.Continue(1)
+		it.Wait(2)
+	})
+	var buf bytes.Buffer
+	if err := e.StopTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no trace events captured")
+	}
+	sawIter, sawControl := false, false
+	for _, ev := range evs {
+		name := ev["name"].(string)
+		if strings.HasPrefix(name, "iter ") {
+			sawIter = true
+		}
+		if name == "pipe_while control" {
+			sawControl = true
+		}
+		if ev["ph"] != "X" {
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+		if ev["dur"].(float64) < 0 {
+			t.Fatal("negative duration")
+		}
+	}
+	if !sawIter || !sawControl {
+		t.Fatalf("missing event kinds: iter=%v control=%v", sawIter, sawControl)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	e := newTestEngine(t, 2)
+	i := 0
+	e.PipeWhile(func() bool { return i < 5 }, func(it *Iter) { i++ })
+	var buf bytes.Buffer
+	if err := e.StopTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("expected empty trace, got %d events", len(evs))
+	}
+}

@@ -1,0 +1,149 @@
+package dag
+
+// SPS builds the ferret-shaped 3-stage pipeline of Section 1: serial unit
+// stages 0 and 2 and a parallel stage 1 of weight r, for n iterations.
+// Its work is n(r+2) and its span n+r, so parallelism ≈ r/2+1 for r ≤ n.
+func SPS(n int, r int64) *Pipeline {
+	p := &Pipeline{Iters: make([][]Node, n)}
+	for i := 0; i < n; i++ {
+		p.Iters[i] = []Node{
+			{Stage: 0, Weight: 1, Cross: i > 0},
+			{Stage: 1, Weight: r, Cross: false},
+			{Stage: 2, Weight: 1, Cross: i > 0},
+		}
+	}
+	return p
+}
+
+// SSPS builds the dedup-shaped 4-stage pipeline of Figure 4: serial read,
+// serial deduplicate, parallel compress, serial write, with per-stage
+// weights.
+func SSPS(n int, w0, w1, w2, w3 int64) *Pipeline {
+	p := &Pipeline{Iters: make([][]Node, n)}
+	for i := 0; i < n; i++ {
+		cross := i > 0
+		p.Iters[i] = []Node{
+			{Stage: 0, Weight: w0, Cross: cross},
+			{Stage: 1, Weight: w1, Cross: cross},
+			{Stage: 2, Weight: w2, Cross: false},
+			{Stage: 3, Weight: w3, Cross: cross},
+		}
+	}
+	return p
+}
+
+// Uniform builds an n-iteration, s-stage pipeline in which every node has
+// weight w and every stage is serial — the uniform pipelines of
+// Theorem 12.
+func Uniform(n, s int, w int64) *Pipeline {
+	p := &Pipeline{Iters: make([][]Node, n)}
+	for i := 0; i < n; i++ {
+		iter := make([]Node, s)
+		for j := 0; j < s; j++ {
+			iter[j] = Node{Stage: int64(j), Weight: w, Cross: i > 0}
+		}
+		p.Iters[i] = iter
+	}
+	return p
+}
+
+// FrameType labels iterations of the x264 dag.
+type FrameType int8
+
+const (
+	FrameI FrameType = iota
+	FrameP
+)
+
+// X264 builds the pipeline dag of Figure 3. Each iteration processes one
+// I- or P-frame of rows row-stages (each of weight rowWeight), preceded by
+// a serial stage 0 of weight readWeight and followed by a parallel
+// B-frame stage of weight bWeight and a serial write stage of weight
+// writeWeight. Iteration i skips w·i extra leading stages (the offset
+// dependency of line 17 in Figure 2), and row nodes of P-frames carry
+// cross edges while I-frame rows do not.
+func X264(types []FrameType, rows, w int, readWeight, rowWeight, bWeight, writeWeight int64) *Pipeline {
+	const (
+		processBFrames = int64(1) << 40
+		endStage       = processBFrames + 1
+	)
+	p := &Pipeline{Iters: make([][]Node, len(types))}
+	for i, ft := range types {
+		skip := int64(w * i)
+		iter := []Node{{Stage: 0, Weight: readWeight, Cross: i > 0}}
+		for rI := 0; rI < rows; rI++ {
+			iter = append(iter, Node{
+				Stage:  1 + skip + int64(rI),
+				Weight: rowWeight,
+				Cross:  ft == FrameP, // conditional pipe_wait vs pipe_continue
+			})
+		}
+		iter = append(iter,
+			Node{Stage: processBFrames, Weight: bWeight, Cross: false},
+			Node{Stage: endStage, Weight: writeWeight, Cross: true},
+		)
+		p.Iters[i] = iter
+	}
+	return p
+}
+
+// PipeFib builds the triangular dag of the pipe-fib benchmark: iteration i
+// computes F(i+3) and has a number of bit stages that grows with the
+// length of the result, every stage serial with unit weight. bits(i) is
+// approximated by i+2 bits of F(i+3) growth (the golden-ratio bit rate is
+// ~0.694 bits/index; we use it to size the triangle).
+func PipeFib(n int) *Pipeline {
+	p := &Pipeline{Iters: make([][]Node, n)}
+	for i := 0; i < n; i++ {
+		bits := int(float64(i+3)*0.6942419) + 2
+		iter := make([]Node, 0, bits+1)
+		iter = append(iter, Node{Stage: 0, Weight: 1, Cross: i > 0})
+		for j := 1; j <= bits; j++ {
+			iter = append(iter, Node{Stage: int64(j), Weight: 1, Cross: i > 0})
+		}
+		p.Iters[i] = iter
+	}
+	return p
+}
+
+// PathologicalThm13 builds the nonuniform unthrottled linear pipeline of
+// Figure 10 for a target work T1 ≈ t1: clusters of cbrt(t1)+1 iterations,
+// each cluster one heavy iteration of weight t1^(2/3)-2 and cbrt(t1) light
+// iterations of weight t1^(1/3)-2 each, with unit-weight serial first and
+// last stages. Any scheduler with throttling limit o(t1^(1/3)) cannot
+// achieve speedup better than ~3 on it (Theorem 13).
+func PathologicalThm13(t1 int64) *Pipeline {
+	cbrt := int64(1)
+	for (cbrt+1)*(cbrt+1)*(cbrt+1) <= t1 {
+		cbrt++
+	}
+	heavy := cbrt*cbrt - 2
+	light := cbrt - 2
+	if light < 1 {
+		light = 1
+	}
+	if heavy < 1 {
+		heavy = 1
+	}
+	perCluster := int(cbrt + 1)
+	clusters := int((cbrt + 1) / 2) // (T1^{2/3}+T1^{1/3})/2 iterations total
+	if clusters < 1 {
+		clusters = 1
+	}
+	var iters [][]Node
+	for c := 0; c < clusters; c++ {
+		for k := 0; k < perCluster; k++ {
+			w := light
+			if k == 0 {
+				w = heavy
+			}
+			first := len(iters) == 0
+			iters = append(iters, []Node{
+				{Stage: 0, Weight: 1, Cross: !first},
+				{Stage: 1, Weight: w, Cross: false},
+				{Stage: 2, Weight: 1, Cross: !first},
+			})
+		}
+	}
+	return &Pipeline{Iters: iters}
+}

@@ -1,0 +1,152 @@
+package dag
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Builder-level tests beyond dag_test.go.
+
+func TestSSPSStructure(t *testing.T) {
+	p := SSPS(10, 1, 2, 8, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, iter := range p.Iters {
+		if len(iter) != 4 {
+			t.Fatalf("iteration %d has %d stages", i, len(iter))
+		}
+		// Stage 2 (compress) is parallel, others serial.
+		if iter[2].Cross {
+			t.Fatal("compress stage should have no cross edge")
+		}
+		if i > 0 && (!iter[0].Cross || !iter[1].Cross || !iter[3].Cross) {
+			t.Fatal("serial stages must carry cross edges")
+		}
+	}
+	if got, want := p.Work(), int64(10*(1+2+8+1)); got != want {
+		t.Fatalf("work = %d, want %d", got, want)
+	}
+}
+
+func TestSSPSParallelismGrowsWithCompress(t *testing.T) {
+	light := SSPS(100, 1, 2, 4, 1)
+	heavy := SSPS(100, 1, 2, 64, 1)
+	if heavy.Parallelism() <= light.Parallelism() {
+		t.Fatalf("heavier parallel stage should raise parallelism: %.2f vs %.2f",
+			heavy.Parallelism(), light.Parallelism())
+	}
+}
+
+func TestUniformAllSerial(t *testing.T) {
+	p := Uniform(5, 3, 2)
+	for i, iter := range p.Iters {
+		for j, nd := range iter {
+			if i > 0 && !nd.Cross {
+				t.Fatalf("node (%d,%d) missing cross edge", i, j)
+			}
+			if nd.Weight != 2 {
+				t.Fatalf("node (%d,%d) weight %d", i, j, nd.Weight)
+			}
+		}
+	}
+}
+
+func TestX264NullNodeOffsets(t *testing.T) {
+	types := []FrameType{FrameI, FrameP, FrameP}
+	p := X264(types, 3, 2, 1, 5, 0, 1)
+	// With w=2, iteration i's rows start at stage 1 + 2i.
+	for i := range types {
+		if got, want := p.Iters[i][1].Stage, int64(1+2*i); got != want {
+			t.Fatalf("iteration %d rows start at %d, want %d", i, got, want)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestX264WorkAccounting(t *testing.T) {
+	types := []FrameType{FrameI, FrameP}
+	p := X264(types, 4, 1, 2, 3, 7, 1)
+	// Each iteration: read(2) + 4 rows × 3 + bstage(7) + write(1) = 22.
+	if got, want := p.Work(), int64(2*22); got != want {
+		t.Fatalf("work = %d, want %d", got, want)
+	}
+}
+
+func TestPipeFibSpanLinear(t *testing.T) {
+	small := PipeFib(40)
+	big := PipeFib(80)
+	// Span should grow roughly linearly (Θ(n)), work quadratically.
+	if big.Span() > small.Span()*4 {
+		t.Fatalf("span grew superlinearly: %d -> %d", small.Span(), big.Span())
+	}
+	if big.Work() < small.Work()*3 {
+		t.Fatalf("work should grow ~quadratically: %d -> %d", small.Work(), big.Work())
+	}
+}
+
+func TestPathologicalClusters(t *testing.T) {
+	p := PathologicalThm13(1 << 15)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every iteration is S-P-S shaped with unit serial stages.
+	var heavies, lights int
+	var heavyW int64
+	for _, iter := range p.Iters {
+		if len(iter) != 3 {
+			t.Fatalf("iteration has %d nodes", len(iter))
+		}
+		if iter[0].Weight != 1 || iter[2].Weight != 1 {
+			t.Fatal("serial stages must be unit weight")
+		}
+		if iter[1].Cross {
+			t.Fatal("middle stage must be parallel")
+		}
+		if iter[1].Weight > heavyW {
+			heavyW = iter[1].Weight
+			heavies = 1
+		} else if iter[1].Weight == heavyW {
+			heavies++
+		} else {
+			lights++
+		}
+	}
+	if heavies == 0 || lights == 0 {
+		t.Fatalf("expected both heavy and light iterations (h=%d l=%d)", heavies, lights)
+	}
+}
+
+func TestSpanThrottledPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for K <= 0")
+		}
+	}()
+	SPS(4, 1).SpanThrottled(0)
+}
+
+func TestDOTNoThrottleEdgesWhenZero(t *testing.T) {
+	p := SPS(5, 2)
+	var buf bytes.Buffer
+	if err := p.DOT(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("dashed")) {
+		t.Fatal("throttle edges drawn with k=0")
+	}
+}
+
+func TestPredictTimeMonotoneInWorkers(t *testing.T) {
+	p := SSPS(500, 1, 2, 30, 1)
+	prev := p.PredictTime(1, 64)
+	for _, workers := range []int{2, 4, 8, 16} {
+		cur := p.PredictTime(workers, 64)
+		if cur > prev {
+			t.Fatalf("predicted time increased at P=%d", workers)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,195 @@
+package dedup
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Archive format:
+//
+//	magic "PDAR1\x00"
+//	records:
+//	  0x00 unique: uvarint rawLen, uvarint compLen, compLen bytes, 20-byte SHA-1
+//	  0x01 ref:    uvarint chunkIndex (index among unique+ref records so far
+//	               is NOT used; the index counts unique chunks only)
+//	  0xFF end:    uvarint total raw size
+var archiveMagic = []byte("PDAR1\x00")
+
+const (
+	recUnique = 0x00
+	recRef    = 0x01
+	recEnd    = 0xFF
+)
+
+// Record is one archive entry produced by the pipeline's final stage.
+type Record struct {
+	// Seq is the chunk's position in the input stream.
+	Seq int64
+	// Dup marks a duplicate chunk; RefIndex identifies the unique chunk
+	// it repeats.
+	Dup      bool
+	RefIndex int64
+	// RawLen is the chunk's uncompressed length.
+	RawLen int
+	// Compressed holds the deflate stream for unique chunks.
+	Compressed []byte
+	// Sum is the chunk's SHA-1.
+	Sum [sha1.Size]byte
+}
+
+// Writer serializes records to an archive stream. It must be driven from
+// a single (serial) pipeline stage, in sequence order.
+type Writer struct {
+	w       io.Writer
+	err     error
+	scratch [binary.MaxVarintLen64]byte
+	total   int64
+	uniques int64
+}
+
+// NewWriter writes the archive header.
+func NewWriter(w io.Writer) *Writer {
+	aw := &Writer{w: w}
+	_, aw.err = w.Write(archiveMagic)
+	return aw
+}
+
+func (aw *Writer) uvarint(v uint64) {
+	if aw.err != nil {
+		return
+	}
+	n := binary.PutUvarint(aw.scratch[:], v)
+	_, aw.err = aw.w.Write(aw.scratch[:n])
+}
+
+// WriteRecord appends one record.
+func (aw *Writer) WriteRecord(r *Record) {
+	if aw.err != nil {
+		return
+	}
+	aw.total += int64(r.RawLen)
+	if r.Dup {
+		_, aw.err = aw.w.Write([]byte{recRef})
+		aw.uvarint(uint64(r.RefIndex))
+		return
+	}
+	_, aw.err = aw.w.Write([]byte{recUnique})
+	aw.uvarint(uint64(r.RawLen))
+	aw.uvarint(uint64(len(r.Compressed)))
+	if aw.err == nil {
+		_, aw.err = aw.w.Write(r.Compressed)
+	}
+	if aw.err == nil {
+		_, aw.err = aw.w.Write(r.Sum[:])
+	}
+	aw.uniques++
+}
+
+// Close writes the end record and reports any accumulated error.
+func (aw *Writer) Close() error {
+	if aw.err != nil {
+		return aw.err
+	}
+	if _, err := aw.w.Write([]byte{recEnd}); err != nil {
+		return err
+	}
+	aw.uvarint(uint64(aw.total))
+	return aw.err
+}
+
+// Restore decompresses an archive back into the original stream,
+// verifying each unique chunk's SHA-1.
+func Restore(archive []byte) ([]byte, error) {
+	if !bytes.HasPrefix(archive, archiveMagic) {
+		return nil, errors.New("dedup: bad archive magic")
+	}
+	r := bytes.NewReader(archive[len(archiveMagic):])
+	var out bytes.Buffer
+	var uniques [][]byte
+	for {
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("dedup: truncated archive: %w", err)
+		}
+		switch kind {
+		case recUnique:
+			rawLen, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			compLen, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			comp := make([]byte, compLen)
+			if _, err := io.ReadFull(r, comp); err != nil {
+				return nil, err
+			}
+			var sum [sha1.Size]byte
+			if _, err := io.ReadFull(r, sum[:]); err != nil {
+				return nil, err
+			}
+			raw, err := inflate(comp, int(rawLen))
+			if err != nil {
+				return nil, err
+			}
+			if sha1.Sum(raw) != sum {
+				return nil, fmt.Errorf("dedup: SHA-1 mismatch in chunk %d", len(uniques))
+			}
+			uniques = append(uniques, raw)
+			out.Write(raw)
+		case recRef:
+			idx, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			if idx >= uint64(len(uniques)) {
+				return nil, fmt.Errorf("dedup: dangling chunk reference %d", idx)
+			}
+			out.Write(uniques[idx])
+		case recEnd:
+			total, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			if uint64(out.Len()) != total {
+				return nil, fmt.Errorf("dedup: size mismatch: got %d, recorded %d", out.Len(), total)
+			}
+			return out.Bytes(), nil
+		default:
+			return nil, fmt.Errorf("dedup: unknown record kind 0x%02x", kind)
+		}
+	}
+}
+
+// Compress deflates one chunk.
+func Compress(chunk []byte) []byte {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		panic(err) // only fails for invalid levels
+	}
+	if _, err := fw.Write(chunk); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	if err := fw.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func inflate(comp []byte, rawLen int) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(comp))
+	defer fr.Close()
+	raw := make([]byte, 0, rawLen)
+	buf := bytes.NewBuffer(raw)
+	if _, err := io.Copy(buf, fr); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

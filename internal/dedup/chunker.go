@@ -1,0 +1,90 @@
+// Package dedup reproduces the PARSEC dedup kernel: content-defined
+// chunking, SHA-1 duplicate elimination, per-chunk compression, and an
+// archive format with a full restore path. The pipeline is the SSPS shape
+// of Figure 4 in the paper: serial read/chunk, serial deduplicate,
+// parallel compress, serial write.
+package dedup
+
+import "piper/internal/workload"
+
+// Chunking parameters: content-defined boundaries with an expected chunk
+// size of 4KiB, bounded to [1KiB, 16KiB].
+const (
+	chunkMask  = 0x0fff // expected size 4096
+	chunkMagic = 0x078d
+	minChunk   = 1 << 10
+	maxChunk   = 16 << 10
+	windowSize = 48
+)
+
+// gearTable drives the rolling hash; filled deterministically at init.
+var gearTable [256]uint64
+
+func init() {
+	r := workload.NewRNG(0x9d0f_5a2e_11c3_77bd)
+	for i := range gearTable {
+		gearTable[i] = r.Uint64()
+	}
+}
+
+// Chunker splits a byte stream into content-defined chunks using a gear
+// rolling hash (a simplification of dedup's Rabin fingerprinting with the
+// same content-defined property: boundaries depend only on local content,
+// so identical regions chunk identically wherever they appear).
+type Chunker struct {
+	data []byte
+	off  int
+}
+
+// NewChunker returns a chunker over data.
+func NewChunker(data []byte) *Chunker {
+	return &Chunker{data: data}
+}
+
+// Next returns the next chunk, or nil when the stream is exhausted. The
+// returned slice aliases the input.
+func (c *Chunker) Next() []byte {
+	if c.off >= len(c.data) {
+		return nil
+	}
+	start := c.off
+	end := boundary(c.data[start:])
+	c.off = start + end
+	return c.data[start:c.off]
+}
+
+// Offset reports how many bytes have been consumed.
+func (c *Chunker) Offset() int { return c.off }
+
+// boundary returns the length of the chunk starting at p[0].
+func boundary(p []byte) int {
+	if len(p) <= minChunk {
+		return len(p)
+	}
+	limit := len(p)
+	if limit > maxChunk {
+		limit = maxChunk
+	}
+	var h uint64
+	for i := 0; i < limit; i++ {
+		h = h<<1 + gearTable[p[i]]
+		if i >= minChunk && h&chunkMask == chunkMagic {
+			return i + 1
+		}
+	}
+	return limit
+}
+
+// ChunkAll splits data into all its chunks; mainly for tests and the
+// serial baseline.
+func ChunkAll(data []byte) [][]byte {
+	var out [][]byte
+	c := NewChunker(data)
+	for {
+		ch := c.Next()
+		if ch == nil {
+			return out
+		}
+		out = append(out, ch)
+	}
+}

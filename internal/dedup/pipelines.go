@@ -1,0 +1,172 @@
+package dedup
+
+import (
+	"crypto/sha1"
+	"io"
+
+	"piper"
+	"piper/internal/bindstage"
+	"piper/internal/tbbpipe"
+)
+
+// task carries one chunk through the pipeline stages.
+type task struct {
+	rec   Record
+	chunk []byte
+}
+
+// dupTable maps SHA-1 sums to unique-chunk indices. It is only touched
+// from the serial deduplicate stage, so it needs no lock under any of the
+// executors (serial stages are single-threaded and ordered in all four).
+type dupTable struct {
+	m    map[[sha1.Size]byte]int64
+	next int64
+}
+
+func newDupTable() *dupTable {
+	return &dupTable{m: make(map[[sha1.Size]byte]int64)}
+}
+
+// classify assigns t its dedup verdict: either a reference to an earlier
+// unique chunk or a fresh unique index.
+func (d *dupTable) classify(t *task) {
+	t.rec.Sum = sha1.Sum(t.chunk)
+	if idx, ok := d.m[t.rec.Sum]; ok {
+		t.rec.Dup = true
+		t.rec.RefIndex = idx
+		return
+	}
+	d.m[t.rec.Sum] = d.next
+	t.rec.RefIndex = d.next
+	d.next++
+}
+
+// CompressSerial is the reference single-threaded implementation (TS in
+// the paper's tables).
+func CompressSerial(data []byte, out io.Writer) error {
+	aw := NewWriter(out)
+	table := newDupTable()
+	c := NewChunker(data)
+	var seq int64
+	for {
+		chunk := c.Next()
+		if chunk == nil {
+			break
+		}
+		t := &task{chunk: chunk}
+		t.rec.Seq = seq
+		t.rec.RawLen = len(chunk)
+		seq++
+		table.classify(t)
+		if !t.rec.Dup {
+			t.rec.Compressed = Compress(chunk)
+		}
+		aw.WriteRecord(&t.rec)
+	}
+	return aw.Close()
+}
+
+// CompressPiper runs the SSPS pipe_while of Figure 4 on a PIPER engine:
+// stage 0 reads and chunks, stage 1 (serial, pipe_wait) deduplicates,
+// stage 2 (parallel, pipe_continue) compresses, stage 3 (serial,
+// pipe_wait) writes the archive.
+func CompressPiper(eng *piper.Engine, k int, data []byte, out io.Writer) error {
+	aw := NewWriter(out)
+	table := newDupTable()
+	c := NewChunker(data)
+	var seq int64
+	piper.PipeThrottled(eng, k, func() ([]byte, bool) {
+		chunk := c.Next()
+		return chunk, chunk != nil
+	}, func(it *piper.Iter, chunk []byte) {
+		t := &task{chunk: chunk}
+		t.rec.Seq = seq
+		t.rec.RawLen = len(chunk)
+		seq++
+
+		it.Wait(1) // serial: deduplicate
+		table.classify(t)
+
+		it.Continue(2) // parallel: compress
+		if !t.rec.Dup {
+			t.rec.Compressed = Compress(chunk)
+		}
+
+		it.Wait(3) // serial: write
+		aw.WriteRecord(&t.rec)
+	})
+	return aw.Close()
+}
+
+// CompressBindStage is the Pthreads-style bind-to-stage implementation:
+// one thread each for the serial stages, q threads for compression, with
+// bounded queues of capacity queueCap.
+func CompressBindStage(data []byte, q, queueCap int, out io.Writer) error {
+	aw := NewWriter(out)
+	table := newDupTable()
+	c := NewChunker(data)
+	var seq int64
+	p := bindstage.New(queueCap).
+		AddSerial(func(v any) any { // deduplicate
+			t := v.(*task)
+			table.classify(t)
+			return t
+		}).
+		AddParallel(q, func(v any) any { // compress
+			t := v.(*task)
+			if !t.rec.Dup {
+				t.rec.Compressed = Compress(t.chunk)
+			}
+			return t
+		}).
+		AddSerial(func(v any) any { return v }) // write happens in sink
+	p.Run(func() (any, bool) {
+		chunk := c.Next()
+		if chunk == nil {
+			return nil, false
+		}
+		t := &task{chunk: chunk}
+		t.rec.Seq = seq
+		t.rec.RawLen = len(chunk)
+		seq++
+		return t, true
+	}, func(v any) {
+		aw.WriteRecord(&v.(*task).rec)
+	})
+	return aw.Close()
+}
+
+// CompressTBB is the construct-and-run token-pipeline implementation.
+func CompressTBB(data []byte, workers, tokens int, out io.Writer) error {
+	aw := NewWriter(out)
+	table := newDupTable()
+	c := NewChunker(data)
+	var seq int64
+	p := tbbpipe.New().
+		Add(tbbpipe.SerialInOrder, func(v any) any { // deduplicate
+			t := v.(*task)
+			table.classify(t)
+			return t
+		}).
+		Add(tbbpipe.ParallelMode, func(v any) any { // compress
+			t := v.(*task)
+			if !t.rec.Dup {
+				t.rec.Compressed = Compress(t.chunk)
+			}
+			return t
+		})
+	p.Run(workers, tokens, func() (any, bool) {
+		chunk := c.Next()
+		if chunk == nil {
+			return nil, false
+		}
+		t := &task{chunk: chunk}
+		t.rec.Seq = seq
+		t.rec.RawLen = len(chunk)
+		seq++
+		return t, true
+	}, func(v any) {
+		aw.WriteRecord(&v.(*task).rec)
+	})
+	return aw.Close()
+}

@@ -1,0 +1,152 @@
+// Package deque implements the dynamic circular work-stealing deque of
+// Chase and Lev, the lock-free successor of the THE protocol used by
+// Cilk-5's runtime. The owner worker pushes and pops at the bottom (tail);
+// thieves steal from the top (head). All operations are non-blocking.
+//
+// Elements are pointers; a nil result means "empty" (or, for Steal,
+// "lost the race — try elsewhere"), mirroring how PIPER's workers probe
+// victims and move on.
+package deque
+
+import "sync/atomic"
+
+const minCapacity = 16
+
+// buffer is one immutable-capacity ring of slots. Slots are atomic so that
+// a thief reading a stale ring never constitutes a data race; the Chase-Lev
+// top CAS arbitrates ownership of the value itself.
+type buffer[T any] struct {
+	mask  int64
+	slots []atomic.Pointer[T]
+}
+
+func newBuffer[T any](capacity int64) *buffer[T] {
+	return &buffer[T]{
+		mask:  capacity - 1,
+		slots: make([]atomic.Pointer[T], capacity),
+	}
+}
+
+func (b *buffer[T]) get(i int64) *T    { return b.slots[i&b.mask].Load() }
+func (b *buffer[T]) put(i int64, x *T) { b.slots[i&b.mask].Store(x) }
+func (b *buffer[T]) capacity() int64   { return b.mask + 1 }
+
+// Deque is a work-stealing deque. The zero value is not ready for use;
+// call New. Push and Pop must be called only by the owning worker;
+// Steal may be called by any goroutine.
+type Deque[T any] struct {
+	top    atomic.Int64 // next index to steal from
+	bottom atomic.Int64 // next index to push at
+	buf    atomic.Pointer[buffer[T]]
+
+	// steals counts successful steals from this deque, maintained by
+	// thieves; exposed for scheduler statistics.
+	steals atomic.Int64
+}
+
+// New returns an empty deque with at least the given initial capacity.
+func New[T any](capacity int) *Deque[T] {
+	c := int64(minCapacity)
+	for c < int64(capacity) {
+		c <<= 1
+	}
+	d := &Deque[T]{}
+	d.buf.Store(newBuffer[T](c))
+	return d
+}
+
+// Push adds x at the bottom (tail). Owner only.
+func (d *Deque[T]) Push(x *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= buf.capacity() {
+		buf = d.grow(buf, t, b)
+	}
+	buf.put(b, x)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the ring, copying live elements. Owner only.
+func (d *Deque[T]) grow(old *buffer[T], t, b int64) *buffer[T] {
+	bigger := newBuffer[T](old.capacity() * 2)
+	for i := t; i < b; i++ {
+		bigger.put(i, old.get(i))
+	}
+	d.buf.Store(bigger)
+	return bigger
+}
+
+// Pop removes and returns the bottom (tail) element, or nil if the deque
+// is empty or the last element was lost to a concurrent thief. Owner only.
+func (d *Deque[T]) Pop() *T {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	x := buf.get(b)
+	if t == b {
+		// Last element: race thieves for it via the top CAS.
+		if !d.top.CompareAndSwap(t, t+1) {
+			x = nil // a thief won
+		}
+		d.bottom.Store(b + 1)
+		return x
+	}
+	return x
+}
+
+// Steal removes and returns the top (head) element. It returns nil if the
+// deque is empty or if the thief lost a race; callers treat both as "move
+// to the next victim". Safe for concurrent use by any goroutine.
+func (d *Deque[T]) Steal() *T {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	buf := d.buf.Load()
+	x := buf.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	d.steals.Add(1)
+	return x
+}
+
+// PopIf pops the bottom element only when keep(x) reports true; otherwise
+// the element is pushed back and PopIf returns nil. Owner only. This is
+// how a frame's Sync drains its own not-yet-stolen children without
+// disturbing deeper deque entries (ancestors, control frames).
+func (d *Deque[T]) PopIf(keep func(*T) bool) *T {
+	x := d.Pop()
+	if x == nil {
+		return nil
+	}
+	if keep(x) {
+		return x
+	}
+	d.Push(x)
+	return nil
+}
+
+// Len reports the approximate number of elements; exact only when no
+// concurrent operations are in flight.
+func (d *Deque[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Empty reports whether the deque appears empty.
+func (d *Deque[T]) Empty() bool { return d.Len() == 0 }
+
+// Steals reports how many elements thieves have successfully stolen.
+func (d *Deque[T]) Steals() int64 { return d.steals.Load() }

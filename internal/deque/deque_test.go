@@ -1,0 +1,256 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"piper/internal/workload"
+)
+
+type item struct{ v int }
+
+func TestPushPopLIFO(t *testing.T) {
+	d := New[item](4)
+	for i := 0; i < 100; i++ {
+		d.Push(&item{i})
+	}
+	for i := 99; i >= 0; i-- {
+		x := d.Pop()
+		if x == nil || x.v != i {
+			t.Fatalf("pop %d: got %v", i, x)
+		}
+	}
+	if d.Pop() != nil {
+		t.Fatal("pop from empty deque should be nil")
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := New[item](4)
+	for i := 0; i < 50; i++ {
+		d.Push(&item{i})
+	}
+	for i := 0; i < 50; i++ {
+		x := d.Steal()
+		if x == nil || x.v != i {
+			t.Fatalf("steal %d: got %v", i, x)
+		}
+	}
+	if d.Steal() != nil {
+		t.Fatal("steal from empty deque should be nil")
+	}
+	if d.Steals() != 50 {
+		t.Fatalf("steals counter = %d, want 50", d.Steals())
+	}
+}
+
+func TestGrowthPreservesOrder(t *testing.T) {
+	d := New[item](2)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		d.Push(&item{i})
+	}
+	if d.Len() != n {
+		t.Fatalf("len = %d, want %d", d.Len(), n)
+	}
+	// Alternate steal (front) and pop (back).
+	front, back := 0, n-1
+	for front <= back {
+		if x := d.Steal(); x == nil || x.v != front {
+			t.Fatalf("steal: got %v, want %d", x, front)
+		}
+		front++
+		if front > back {
+			break
+		}
+		if x := d.Pop(); x == nil || x.v != back {
+			t.Fatalf("pop: got %v, want %d", x, back)
+		}
+		back--
+	}
+	if !d.Empty() {
+		t.Fatalf("deque should be empty, len=%d", d.Len())
+	}
+}
+
+func TestPopIf(t *testing.T) {
+	d := New[item](4)
+	d.Push(&item{1})
+	d.Push(&item{2})
+	// Predicate rejects 2: stays, nil returned.
+	if x := d.PopIf(func(i *item) bool { return i.v == 1 }); x != nil {
+		t.Fatalf("PopIf should have rejected tail, got %v", x)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("rejected element lost, len=%d", d.Len())
+	}
+	if x := d.PopIf(func(i *item) bool { return i.v == 2 }); x == nil || x.v != 2 {
+		t.Fatalf("PopIf should accept tail, got %v", x)
+	}
+	if x := d.PopIf(func(i *item) bool { return true }); x == nil || x.v != 1 {
+		t.Fatalf("got %v, want 1", x)
+	}
+	if x := d.PopIf(func(i *item) bool { return true }); x != nil {
+		t.Fatalf("empty deque PopIf should be nil, got %v", x)
+	}
+}
+
+// TestModelRandomOps compares the deque against a reference slice model
+// under a random single-threaded op sequence.
+func TestModelRandomOps(t *testing.T) {
+	run := func(seed uint64) bool {
+		r := workload.NewRNG(seed)
+		d := New[item](2)
+		var model []int
+		next := 0
+		for op := 0; op < 2000; op++ {
+			switch r.Intn(3) {
+			case 0: // push
+				d.Push(&item{next})
+				model = append(model, next)
+				next++
+			case 1: // pop
+				x := d.Pop()
+				if len(model) == 0 {
+					if x != nil {
+						return false
+					}
+				} else {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if x == nil || x.v != want {
+						return false
+					}
+				}
+			case 2: // steal (no concurrency, must succeed when non-empty)
+				x := d.Steal()
+				if len(model) == 0 {
+					if x != nil {
+						return false
+					}
+				} else {
+					want := model[0]
+					model = model[1:]
+					if x == nil || x.v != want {
+						return false
+					}
+				}
+			}
+		}
+		return d.Len() == len(model)
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentNoLossNoDup hammers one owner against several thieves and
+// verifies every pushed element is consumed exactly once.
+func TestConcurrentNoLossNoDup(t *testing.T) {
+	const (
+		total   = 200000
+		thieves = 3
+	)
+	d := New[item](8)
+	var consumed [total]atomic.Int32
+	var got atomic.Int64
+
+	record := func(x *item) {
+		if consumed[x.v].Add(1) != 1 {
+			t.Errorf("element %d consumed twice", x.v)
+		}
+		got.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if x := d.Steal(); x != nil {
+					record(x)
+					continue
+				}
+				select {
+				case <-stop:
+					// Drain whatever is left after the owner finished.
+					for {
+						x := d.Steal()
+						if x == nil {
+							return
+						}
+						record(x)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: interleave pushes and pops.
+	r := workload.NewRNG(99)
+	for i := 0; i < total; i++ {
+		d.Push(&item{i})
+		if r.Intn(3) == 0 {
+			if x := d.Pop(); x != nil {
+				record(x)
+			}
+		}
+	}
+	for {
+		x := d.Pop()
+		if x == nil {
+			break
+		}
+		record(x)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Anything left was lost to races between our final owner drain and the
+	// thieves' drains; sweep once more.
+	for {
+		x := d.Steal()
+		if x == nil {
+			break
+		}
+		record(x)
+	}
+	if got.Load() != total {
+		t.Fatalf("consumed %d elements, want %d", got.Load(), total)
+	}
+}
+
+func TestLenNeverNegative(t *testing.T) {
+	d := New[item](4)
+	d.Push(&item{1})
+	d.Pop()
+	d.Pop()
+	if d.Len() != 0 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[item](64)
+	x := &item{1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Push(x)
+		d.Pop()
+	}
+}
+
+func BenchmarkStealUncontended(b *testing.B) {
+	d := New[item](64)
+	x := &item{1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Push(x)
+		d.Steal()
+	}
+}

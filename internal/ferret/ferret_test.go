@@ -1,0 +1,190 @@
+package ferret
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"piper"
+	"piper/internal/workload"
+)
+
+func TestGenImageDeterministic(t *testing.T) {
+	a := GenImage(42, 32, 32)
+	b := GenImage(42, 32, 32)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("image generation not deterministic")
+		}
+	}
+	c := GenImage(43, 32, 32)
+	same := 0
+	for i := range a.Pix {
+		if a.Pix[i] == c.Pix[i] {
+			same++
+		}
+	}
+	if same == len(a.Pix) {
+		t.Fatal("different ids produced identical images")
+	}
+}
+
+func TestExtractProperties(t *testing.T) {
+	img := GenImage(7, 48, 48)
+	f := Extract(img)
+	if len(f) != FeatureDim {
+		t.Fatalf("dim = %d, want %d", len(f), FeatureDim)
+	}
+	var norm float64
+	for _, v := range f {
+		if v < 0 {
+			t.Fatal("negative feature")
+		}
+		norm += v * v
+	}
+	if norm < 0.99 || norm > 1.01 {
+		t.Fatalf("L2 norm = %v, want ~1", norm)
+	}
+}
+
+func TestSqrtAgainstSquares(t *testing.T) {
+	prop := func(raw uint32) bool {
+		x := float64(raw%100000) + 0.5
+		s := sqrt(x)
+		return s*s > x*0.9999 && s*s < x*1.0001
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientBinCoversOctants(t *testing.T) {
+	seen := map[int]bool{}
+	for _, d := range [][2]int{{1, 0}, {2, 1}, {1, 2}, {0, 1}, {-1, 2}, {-2, 1}, {-1, 0}, {-2, -1}, {-1, -2}, {0, -1}, {1, -2}, {2, -1}} {
+		b := orientBin(d[0], d[1])
+		if b < 0 || b > 7 {
+			t.Fatalf("bin %d out of range for %v", b, d)
+		}
+		seen[b] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d octants covered", len(seen))
+	}
+}
+
+func TestTopKMatchesSort(t *testing.T) {
+	r := workload.NewRNG(3)
+	n := 200
+	ids := make([]int, n)
+	vecs := make([][]float64, n)
+	for i := range ids {
+		ids[i] = i
+		vecs[i] = workload.Vector(r.Uint64(), FeatureDim)
+	}
+	idx := NewIndex(DefaultIndexParams(), ids, vecs)
+	q := workload.Vector(999, FeatureDim)
+	got := idx.QueryExact(q, 10)
+	// Reference: full sort.
+	type pair struct {
+		id int
+		d  float64
+	}
+	all := make([]pair, n)
+	for i := range vecs {
+		all[i] = pair{ids[i], l2(q, vecs[i])}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].id < all[j].id
+	})
+	for i := 0; i < 10; i++ {
+		if got[i].ID != all[i].id {
+			t.Fatalf("rank %d: got id %d, want %d", i, got[i].ID, all[i].id)
+		}
+	}
+}
+
+// TestLSHRecall: the approximate query must find a healthy fraction of
+// the true top-k on clustered (realistic) data.
+func TestLSHRecall(t *testing.T) {
+	const n, k = 400, 10
+	ids := make([]int, n)
+	vecs := make([][]float64, n)
+	for i := range ids {
+		ids[i] = i
+		vecs[i] = Extract(GenImage(i, 32, 32))
+	}
+	idx := NewIndex(DefaultIndexParams(), ids, vecs)
+	hits, want := 0, 0
+	for q := 0; q < 20; q++ {
+		v := Extract(GenImage(10000+q, 32, 32))
+		approx := idx.Query(v, k)
+		exact := idx.QueryExact(v, k)
+		inApprox := map[int]bool{}
+		for _, r := range approx {
+			inApprox[r.ID] = true
+		}
+		for _, r := range exact {
+			want++
+			if inApprox[r.ID] {
+				hits++
+			}
+		}
+	}
+	if recall := float64(hits) / float64(want); recall < 0.3 {
+		t.Fatalf("LSH recall %.2f too low", recall)
+	}
+}
+
+// TestQueryRankedAscending: results come back sorted by distance.
+func TestQueryRankedAscending(t *testing.T) {
+	c := BuildCorpus(300, 24, 24)
+	v := Extract(GenImage(5000, 24, 24))
+	res := c.Index.Query(v, 15)
+	for i := 1; i < len(res); i++ {
+		if less(res[i], res[i-1]) {
+			t.Fatalf("results not sorted at %d: %v then %v", i, res[i-1], res[i])
+		}
+	}
+}
+
+// TestAllExecutorsAgree: piper, bind-to-stage, TBB outputs match serial.
+func TestAllExecutorsAgree(t *testing.T) {
+	c := BuildCorpus(250, 24, 24)
+	qs := QuerySet{Offset: 100000, N: 60, TopK: 8}
+	want := c.RunSerial(qs)
+
+	eng := piper.NewEngine(piper.Workers(4))
+	defer eng.Close()
+	if got := c.RunPiper(eng, 16, qs); true {
+		if ok, why := EqualOutputs(want, got); !ok {
+			t.Errorf("piper output differs: %s", why)
+		}
+	}
+	if got := c.RunBindStage(4, 16, qs); true {
+		if ok, why := EqualOutputs(want, got); !ok {
+			t.Errorf("bind-to-stage output differs: %s", why)
+		}
+	}
+	if got := c.RunTBB(4, 16, qs); true {
+		if ok, why := EqualOutputs(want, got); !ok {
+			t.Errorf("TBB output differs: %s", why)
+		}
+	}
+}
+
+func TestPiperWorkerSweep(t *testing.T) {
+	c := BuildCorpus(150, 24, 24)
+	qs := QuerySet{Offset: 7777, N: 40, TopK: 5}
+	want := c.RunSerial(qs)
+	for _, p := range []int{1, 2, 8} {
+		eng := piper.NewEngine(piper.Workers(p))
+		got := c.RunPiper(eng, 10*p, qs)
+		eng.Close()
+		if ok, why := EqualOutputs(want, got); !ok {
+			t.Fatalf("P=%d differs: %s", p, why)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package ferret reproduces the PARSEC ferret kernel: content-based
+// similarity search over an image corpus. The pipeline is the SPS shape of
+// Figure 1: a serial load stage, a heavy parallel stage that segments the
+// image, extracts features and queries the index, and a serial ranking/
+// output stage.
+//
+// PARSEC's 3500-image native corpus is replaced by a deterministic
+// synthetic corpus (sums of random Gaussian blobs over an RGB raster),
+// which exercises the same code path: real per-pixel feature extraction
+// and a real approximate-nearest-neighbour index query per element.
+package ferret
+
+import "piper/internal/workload"
+
+// Image is a small synthetic RGB raster.
+type Image struct {
+	ID   int
+	W, H int
+	Pix  []byte // RGB triples, row-major
+}
+
+// GenImage synthesizes image id deterministically: a handful of soft
+// colour blobs on a noisy background. Images with nearby seeds share blob
+// palettes, giving the index meaningful near-duplicate structure.
+func GenImage(id int, w, h int) *Image {
+	r := workload.NewRNG(workload.Hash64(uint64(id)))
+	img := &Image{ID: id, W: w, H: h, Pix: make([]byte, 3*w*h)}
+	// Noise floor.
+	r.Bytes(img.Pix)
+	for i := range img.Pix {
+		img.Pix[i] /= 8
+	}
+	// Blobs: position, radius, colour.
+	blobs := 3 + r.Intn(4)
+	for b := 0; b < blobs; b++ {
+		cx, cy := r.Intn(w), r.Intn(h)
+		rad := 4 + r.Intn(w/3+1)
+		cr, cg, cb := byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))
+		rad2 := rad * rad
+		for y := cy - rad; y <= cy+rad; y++ {
+			if y < 0 || y >= h {
+				continue
+			}
+			for x := cx - rad; x <= cx+rad; x++ {
+				if x < 0 || x >= w {
+					continue
+				}
+				d2 := (x-cx)*(x-cx) + (y-cy)*(y-cy)
+				if d2 > rad2 {
+					continue
+				}
+				// Soft falloff: weight 1 at centre, 0 at radius.
+				wgt := 256 * (rad2 - d2) / rad2
+				p := 3 * (y*w + x)
+				img.Pix[p+0] = mix(img.Pix[p+0], cr, wgt)
+				img.Pix[p+1] = mix(img.Pix[p+1], cg, wgt)
+				img.Pix[p+2] = mix(img.Pix[p+2], cb, wgt)
+			}
+		}
+	}
+	return img
+}
+
+func mix(base, c byte, wgt int) byte {
+	return byte((int(base)*(256-wgt) + int(c)*wgt) / 256)
+}
+
+// FeatureDim is the dimensionality of extracted feature vectors:
+// 3 channels × 16 histogram bins + 8 gradient-orientation bins.
+const FeatureDim = 3*16 + 8
+
+// Extract computes the image's feature vector: per-channel 16-bin colour
+// histograms plus an 8-bin edge-orientation histogram, L2-normalized.
+// This is the compute-heavy kernel of the parallel middle stage.
+func Extract(img *Image) []float64 {
+	f := make([]float64, FeatureDim)
+	w, h := img.W, img.H
+	for y := 0; y < h; y++ {
+		row := img.Pix[3*y*w : 3*(y+1)*w]
+		for x := 0; x < w; x++ {
+			rr, gg, bb := row[3*x], row[3*x+1], row[3*x+2]
+			f[0+int(rr)>>4]++
+			f[16+int(gg)>>4]++
+			f[32+int(bb)>>4]++
+		}
+	}
+	// Gradient orientations on the green channel.
+	at := func(x, y int) int {
+		return int(img.Pix[3*(y*w+x)+1])
+	}
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			dx := at(x+1, y) - at(x-1, y)
+			dy := at(x, y+1) - at(x, y-1)
+			mag := dx*dx + dy*dy
+			if mag < 64 {
+				continue
+			}
+			f[48+orientBin(dx, dy)] += 1
+		}
+	}
+	// L2 normalize.
+	var norm float64
+	for _, v := range f {
+		norm += v * v
+	}
+	if norm > 0 {
+		inv := 1 / sqrt(norm)
+		for i := range f {
+			f[i] *= inv
+		}
+	}
+	return f
+}
+
+// orientBin buckets a gradient direction into one of 8 octants without
+// trigonometry.
+func orientBin(dx, dy int) int {
+	bin := 0
+	if dy < 0 {
+		bin |= 4
+		dx, dy = -dx, -dy
+	}
+	if dx < 0 {
+		bin |= 2
+		dx, dy = dy, -dx
+	}
+	if dy > dx {
+		bin |= 1
+	}
+	return bin
+}
+
+// sqrt is Newton's method on float64; avoids importing math for one call
+// site in a hot loop (and keeps the kernel self-contained).
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 24; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

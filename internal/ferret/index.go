@@ -1,0 +1,168 @@
+package ferret
+
+import (
+	"container/heap"
+	"sort"
+
+	"piper/internal/workload"
+)
+
+// Index is a random-hyperplane LSH index over feature vectors with exact
+// re-ranking of candidates, the ferret "vec" query substrate.
+type Index struct {
+	tables []lshTable
+	planes [][][]float64 // [table][bit][dim]
+	vecs   [][]float64
+	ids    []int
+}
+
+type lshTable map[uint32][]int32 // bucket -> vector indices
+
+// IndexParams configures the LSH structure.
+type IndexParams struct {
+	Tables int // number of hash tables L
+	Bits   int // hyperplanes per table
+	Seed   uint64
+}
+
+// DefaultIndexParams matches a small but effective configuration.
+func DefaultIndexParams() IndexParams {
+	return IndexParams{Tables: 8, Bits: 12, Seed: 0xfe44e7}
+}
+
+// NewIndex builds an index over the given corpus vectors. ids[i] labels
+// vecs[i]; ties in query distance are broken by id so results are
+// deterministic.
+func NewIndex(p IndexParams, ids []int, vecs [][]float64) *Index {
+	if len(ids) != len(vecs) {
+		panic("ferret: ids and vecs length mismatch")
+	}
+	idx := &Index{
+		tables: make([]lshTable, p.Tables),
+		planes: make([][][]float64, p.Tables),
+		vecs:   vecs,
+		ids:    ids,
+	}
+	r := workload.NewRNG(p.Seed)
+	for t := 0; t < p.Tables; t++ {
+		idx.tables[t] = make(lshTable)
+		idx.planes[t] = make([][]float64, p.Bits)
+		for b := 0; b < p.Bits; b++ {
+			plane := make([]float64, FeatureDim)
+			for d := range plane {
+				plane[d] = r.NormFloat64()
+			}
+			idx.planes[t][b] = plane
+		}
+	}
+	for vi, v := range vecs {
+		for t := range idx.tables {
+			h := idx.hash(t, v)
+			idx.tables[t][h] = append(idx.tables[t][h], int32(vi))
+		}
+	}
+	return idx
+}
+
+func (idx *Index) hash(t int, v []float64) uint32 {
+	var h uint32
+	for b, plane := range idx.planes[t] {
+		var dot float64
+		for d, p := range plane {
+			dot += p * v[d]
+		}
+		if dot >= 0 {
+			h |= 1 << uint(b)
+		}
+	}
+	return h
+}
+
+// Result is one ranked match.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// resultHeap is a max-heap by distance (worst candidate on top) for
+// top-k selection.
+type resultHeap []Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist
+	}
+	return h[i].ID > h[j].ID
+}
+func (h resultHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)   { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Query returns the top-k approximate nearest neighbours of v, ranked by
+// exact L2 distance over the LSH candidate set.
+func (idx *Index) Query(v []float64, k int) []Result {
+	seen := make(map[int32]bool)
+	var h resultHeap
+	for t := range idx.tables {
+		bucket := idx.tables[t][idx.hash(t, v)]
+		for _, vi := range bucket {
+			if seen[vi] {
+				continue
+			}
+			seen[vi] = true
+			d := l2(v, idx.vecs[vi])
+			r := Result{ID: idx.ids[vi], Dist: d}
+			if len(h) < k {
+				heap.Push(&h, r)
+			} else if less(r, h[0]) {
+				h[0] = r
+				heap.Fix(&h, 0)
+			}
+		}
+	}
+	out := make([]Result, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Result)
+	}
+	return out
+}
+
+// QueryExact is the brute-force oracle used by tests and recall studies.
+func (idx *Index) QueryExact(v []float64, k int) []Result {
+	all := make([]Result, len(idx.vecs))
+	for i, u := range idx.vecs {
+		all[i] = Result{ID: idx.ids[i], Dist: l2(v, u)}
+	}
+	sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// less orders results by distance then id, the deterministic ranking.
+func less(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+func l2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Size reports the number of indexed vectors.
+func (idx *Index) Size() int { return len(idx.vecs) }

@@ -1,0 +1,166 @@
+package ferret
+
+import (
+	"testing"
+	"testing/quick"
+
+	"piper/internal/workload"
+)
+
+// Additional index-level tests beyond ferret_test.go.
+
+func buildVecs(n int, seed uint64) ([]int, [][]float64) {
+	r := workload.NewRNG(seed)
+	ids := make([]int, n)
+	vecs := make([][]float64, n)
+	for i := range ids {
+		ids[i] = i
+		vecs[i] = workload.Vector(r.Uint64(), FeatureDim)
+	}
+	return ids, vecs
+}
+
+func TestIndexSize(t *testing.T) {
+	ids, vecs := buildVecs(77, 1)
+	idx := NewIndex(DefaultIndexParams(), ids, vecs)
+	if idx.Size() != 77 {
+		t.Fatalf("size = %d", idx.Size())
+	}
+}
+
+func TestIndexMismatchedInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched ids/vecs")
+		}
+	}()
+	NewIndex(DefaultIndexParams(), []int{1, 2}, make([][]float64, 3))
+}
+
+func TestQuerySelfFindsSelf(t *testing.T) {
+	ids, vecs := buildVecs(120, 2)
+	idx := NewIndex(DefaultIndexParams(), ids, vecs)
+	// A query identical to an indexed vector must rank it first (distance
+	// 0 beats everything, and LSH always probes the vector's own bucket).
+	for probe := 0; probe < 10; probe++ {
+		res := idx.Query(vecs[probe*7], 3)
+		if len(res) == 0 || res[0].ID != ids[probe*7] {
+			t.Fatalf("self query %d returned %v", probe*7, res)
+		}
+		if res[0].Dist != 0 {
+			t.Fatalf("self distance = %v", res[0].Dist)
+		}
+	}
+}
+
+func TestQueryKLargerThanCorpus(t *testing.T) {
+	ids, vecs := buildVecs(5, 3)
+	idx := NewIndex(DefaultIndexParams(), ids, vecs)
+	res := idx.QueryExact(vecs[0], 50)
+	if len(res) != 5 {
+		t.Fatalf("got %d results, want 5", len(res))
+	}
+	approx := idx.Query(vecs[0], 50)
+	if len(approx) > 5 {
+		t.Fatalf("approximate query returned %d > corpus size", len(approx))
+	}
+}
+
+func TestQueryDeterministic(t *testing.T) {
+	ids, vecs := buildVecs(200, 4)
+	idx := NewIndex(DefaultIndexParams(), ids, vecs)
+	q := workload.Vector(777, FeatureDim)
+	a := idx.Query(q, 10)
+	b := idx.Query(q, 10)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic ranking at %d", i)
+		}
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	ids, vecs := buildVecs(10, 5)
+	idx := NewIndex(DefaultIndexParams(), ids, vecs)
+	for tbl := 0; tbl < len(idx.tables); tbl++ {
+		h1 := idx.hash(tbl, vecs[0])
+		h2 := idx.hash(tbl, vecs[0])
+		if h1 != h2 {
+			t.Fatal("hash not stable")
+		}
+	}
+}
+
+func TestL2Symmetric(t *testing.T) {
+	prop := func(seedA, seedB uint64) bool {
+		a := workload.Vector(seedA, FeatureDim)
+		b := workload.Vector(seedB, FeatureDim)
+		d1, d2 := l2(a, b), l2(b, a)
+		return d1 == d2 && d1 >= 0 && l2(a, a) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultOrderingTieBreak(t *testing.T) {
+	// Equal-distance results must order by ID.
+	a := Result{ID: 3, Dist: 1.5}
+	b := Result{ID: 7, Dist: 1.5}
+	if !less(a, b) || less(b, a) {
+		t.Fatal("tie-break by ID broken")
+	}
+}
+
+func TestQueriesPregeneration(t *testing.T) {
+	c := BuildCorpus(20, 24, 24)
+	qs := QuerySet{Offset: 500, N: 7, TopK: 3}
+	imgs := c.Queries(qs)
+	if len(imgs) != 7 {
+		t.Fatalf("got %d query images", len(imgs))
+	}
+	for i, img := range imgs {
+		if img.ID != 500+i {
+			t.Fatalf("query %d has id %d", i, img.ID)
+		}
+		if img.W != 24 || img.H != 24 {
+			t.Fatalf("query dims %dx%d", img.W, img.H)
+		}
+	}
+}
+
+func TestIndexParamsInfluenceRecall(t *testing.T) {
+	ids := make([]int, 300)
+	vecs := make([][]float64, 300)
+	for i := range ids {
+		ids[i] = i
+		vecs[i] = Extract(GenImage(i, 24, 24))
+	}
+	few := NewIndex(IndexParams{Tables: 1, Bits: 16, Seed: 9}, ids, vecs)
+	many := NewIndex(IndexParams{Tables: 16, Bits: 8, Seed: 9}, ids, vecs)
+	recall := func(idx *Index) int {
+		hits := 0
+		for q := 0; q < 15; q++ {
+			v := Extract(GenImage(5000+q, 24, 24))
+			approx := idx.Query(v, 5)
+			exact := idx.QueryExact(v, 5)
+			in := map[int]bool{}
+			for _, r := range approx {
+				in[r.ID] = true
+			}
+			for _, r := range exact {
+				if in[r.ID] {
+					hits++
+				}
+			}
+		}
+		return hits
+	}
+	if recall(many) < recall(few) {
+		t.Fatalf("more tables with shorter hashes should not reduce recall: %d vs %d",
+			recall(many), recall(few))
+	}
+}

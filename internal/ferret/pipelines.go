@@ -1,0 +1,168 @@
+package ferret
+
+import (
+	"fmt"
+
+	"piper"
+	"piper/internal/bindstage"
+	"piper/internal/tbbpipe"
+)
+
+// Corpus bundles an index with generation parameters so queries can be
+// produced on demand.
+type Corpus struct {
+	Index *Index
+	W, H  int
+}
+
+// BuildCorpus generates and indexes n base images of w×h pixels.
+func BuildCorpus(n, w, h int) *Corpus {
+	ids := make([]int, n)
+	vecs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = i
+		vecs[i] = Extract(GenImage(i, w, h))
+	}
+	return &Corpus{Index: NewIndex(DefaultIndexParams(), ids, vecs), W: w, H: h}
+}
+
+// QuerySet identifies the query stream: images with ids offset past the
+// corpus. TopK is the rank depth (ferret's default is 50 over a much
+// larger corpus; we scale it down with the synthetic corpus).
+type QuerySet struct {
+	Offset, N, TopK int
+}
+
+// Queries materializes the query images up front, playing the role of the
+// image files on disk in PARSEC's driver: the pipeline's serial stage 0
+// *loads* a query (cheap), while segmentation, feature extraction and the
+// index probe (expensive) happen in the parallel stage.
+func (c *Corpus) Queries(qs QuerySet) []*Image {
+	imgs := make([]*Image, qs.N)
+	for i := range imgs {
+		imgs[i] = GenImage(qs.Offset+i, c.W, c.H)
+	}
+	return imgs
+}
+
+// Output is the ranked result list for one query, emitted by the final
+// serial stage in query order.
+type Output struct {
+	QueryID int
+	Ranked  []Result
+}
+
+// queryJob carries one query through the stages.
+type queryJob struct {
+	seq int
+	img *Image
+	out Output
+}
+
+// RunSerial executes the whole query stream serially (TS).
+func (c *Corpus) RunSerial(qs QuerySet) []Output {
+	imgs := c.Queries(qs)
+	outs := make([]Output, 0, qs.N)
+	for _, img := range imgs {
+		v := Extract(img)
+		outs = append(outs, Output{QueryID: img.ID, Ranked: c.Index.Query(v, qs.TopK)})
+	}
+	return outs
+}
+
+// RunPiper executes the SPS pipe_while of Figure 1: serial load, parallel
+// extract+query, serial ranked output.
+func (c *Corpus) RunPiper(eng *piper.Engine, k int, qs QuerySet) []Output {
+	imgs := c.Queries(qs)
+	outs := make([]Output, 0, qs.N)
+	i := 0
+	piper.PipeThrottled(eng, k, func() (*Image, bool) {
+		if i >= qs.N {
+			return nil, false
+		}
+		img := imgs[i] // stage 0: serial load
+		i++
+		return img, true
+	}, func(it *piper.Iter, img *Image) {
+		it.Continue(1) // parallel stage: segment, extract, query
+		v := Extract(img)
+		ranked := c.Index.Query(v, qs.TopK)
+		it.Wait(2) // serial stage: ordered output
+		outs = append(outs, Output{QueryID: img.ID, Ranked: ranked})
+	})
+	return outs
+}
+
+// RunBindStage is the Pthreads-style baseline with q threads on the
+// middle stage.
+func (c *Corpus) RunBindStage(q, queueCap int, qs QuerySet) []Output {
+	imgs := c.Queries(qs)
+	outs := make([]Output, 0, qs.N)
+	i := 0
+	p := bindstage.New(queueCap).
+		AddParallel(q, func(v any) any {
+			j := v.(*queryJob)
+			feat := Extract(j.img)
+			j.out = Output{QueryID: j.img.ID, Ranked: c.Index.Query(feat, qs.TopK)}
+			return j
+		}).
+		AddSerial(func(v any) any { return v })
+	p.Run(func() (any, bool) {
+		if i >= qs.N {
+			return nil, false
+		}
+		j := &queryJob{seq: i, img: imgs[i]}
+		i++
+		return j, true
+	}, func(v any) {
+		outs = append(outs, v.(*queryJob).out)
+	})
+	return outs
+}
+
+// RunTBB is the construct-and-run token-pipeline baseline.
+func (c *Corpus) RunTBB(workers, tokens int, qs QuerySet) []Output {
+	imgs := c.Queries(qs)
+	outs := make([]Output, 0, qs.N)
+	i := 0
+	p := tbbpipe.New().
+		Add(tbbpipe.ParallelMode, func(v any) any {
+			j := v.(*queryJob)
+			feat := Extract(j.img)
+			j.out = Output{QueryID: j.img.ID, Ranked: c.Index.Query(feat, qs.TopK)}
+			return j
+		})
+	p.Run(workers, tokens, func() (any, bool) {
+		if i >= qs.N {
+			return nil, false
+		}
+		j := &queryJob{seq: i, img: imgs[i]}
+		i++
+		return j, true
+	}, func(v any) {
+		outs = append(outs, v.(*queryJob).out)
+	})
+	return outs
+}
+
+// EqualOutputs reports whether two output streams are identical, with a
+// description of the first difference.
+func EqualOutputs(a, b []Output) (bool, string) {
+	if len(a) != len(b) {
+		return false, fmt.Sprintf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].QueryID != b[i].QueryID {
+			return false, fmt.Sprintf("query %d: id %d vs %d", i, a[i].QueryID, b[i].QueryID)
+		}
+		if len(a[i].Ranked) != len(b[i].Ranked) {
+			return false, fmt.Sprintf("query %d: %d vs %d results", i, len(a[i].Ranked), len(b[i].Ranked))
+		}
+		for r := range a[i].Ranked {
+			if a[i].Ranked[r] != b[i].Ranked[r] {
+				return false, fmt.Sprintf("query %d rank %d: %+v vs %+v", i, r, a[i].Ranked[r], b[i].Ranked[r])
+			}
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,300 @@
+// Package pipefib implements the paper's pipe-fib microbenchmark
+// (Section 10, Figure 9): computing the n-th Fibonacci number in binary
+// with a pipeline of Θ(n²) work and Θ(n) span. Iteration i computes
+// F(i+3) by ripple-carry addition of the two previous numbers, one bit
+// per stage in the fine-grained variant and one 256-bit block per stage
+// in the coarsened pipe-fib-256 variant. Every stage is serial
+// (pipe_wait), which makes cross-edge checking the dominant overhead and
+// dependency folding measurable.
+//
+// The three result buffers rotate; the safety of the rotation is exactly
+// the pipeline discipline: iteration i may overwrite bit j of the buffer
+// last used by iteration i-3 only after iterations i-2 and i-1 have read
+// it, which the serial bit stages guarantee.
+package pipefib
+
+import (
+	"math/big"
+	"sync/atomic"
+
+	"piper"
+)
+
+// Fine computes F(n) bit-serially on a PIPER engine with throttle k.
+// n must be at least 3.
+func Fine(eng *piper.Engine, k, n int) *big.Int {
+	if n < 3 {
+		return fibSmall(n)
+	}
+	maxBits := n + 2
+	bufs := [3][]uint8{
+		make([]uint8, maxBits),
+		make([]uint8, maxBits),
+		make([]uint8, maxBits),
+	}
+	// lens[k] is the published bit-length of F(k), 0 while unknown.
+	lens := make([]atomic.Int64, n+1)
+	bufs[0][0] = 1 // F(1) = 1
+	bufs[1][0] = 1 // F(2) = 1
+	lens[1].Store(1)
+	lens[2].Store(1)
+
+	// has reports whether F(fk) has a bit at position j, given that the
+	// pipeline discipline guarantees bits <= j of F(fk) are final: either
+	// the producer finished and published its length, or it is still
+	// running beyond bit j, in which case the bit exists.
+	has := func(fk int, j int) bool {
+		if l := lens[fk].Load(); l != 0 {
+			return int64(j) < l
+		}
+		return true
+	}
+
+	i := 0
+	iters := n - 2 // iterations compute F(3)..F(n)
+	piper.PipeThrottled(eng, k, func() (int, bool) {
+		if i >= iters {
+			return 0, false
+		}
+		v := i
+		i++
+		return v, true
+	}, func(it *piper.Iter, idx int) {
+		a := bufs[idx%3]       // F(idx+1)
+		b := bufs[(idx+1)%3]   // F(idx+2)
+		out := bufs[(idx+2)%3] // F(idx+3), overwriting F(idx)
+		carry := uint8(0)
+		j := 0
+		for {
+			it.Wait(int64(j) + 1)
+			hasA, hasB := has(idx+1, j), has(idx+2, j)
+			if !hasA && !hasB && carry == 0 {
+				break
+			}
+			s := carry
+			if hasA {
+				s += a[j]
+			}
+			if hasB {
+				s += b[j]
+			}
+			out[j] = s & 1
+			carry = s >> 1
+			j++
+		}
+		lens[idx+3].Store(int64(j))
+	})
+
+	return bitsToBig(bufs[(iters-1+2)%3], int(lens[n].Load()))
+}
+
+// blockBits is the coarsening factor of pipe-fib-256.
+const blockBits = 256
+
+const wordsPerBlock = blockBits / 64
+
+// Coarse computes F(n) with 256-bit blocks per stage (pipe-fib-256).
+func Coarse(eng *piper.Engine, k, n int) *big.Int {
+	if n < 3 {
+		return fibSmall(n)
+	}
+	maxBlocks := (n+2)/blockBits + 2
+	type blocks = []uint64
+	bufs := [3]blocks{
+		make(blocks, maxBlocks*wordsPerBlock),
+		make(blocks, maxBlocks*wordsPerBlock),
+		make(blocks, maxBlocks*wordsPerBlock),
+	}
+	// lens[k] holds the published block count of F(k).
+	lens := make([]atomic.Int64, n+1)
+	bufs[0][0] = 1
+	bufs[1][0] = 1
+	lens[1].Store(1)
+	lens[2].Store(1)
+
+	has := func(fk int, j int) bool {
+		if l := lens[fk].Load(); l != 0 {
+			return int64(j) < l
+		}
+		return true
+	}
+
+	i := 0
+	iters := n - 2
+	piper.PipeThrottled(eng, k, func() (int, bool) {
+		if i >= iters {
+			return 0, false
+		}
+		v := i
+		i++
+		return v, true
+	}, func(it *piper.Iter, idx int) {
+		a := bufs[idx%3]
+		b := bufs[(idx+1)%3]
+		out := bufs[(idx+2)%3]
+		var carry uint64
+		j := 0
+		for {
+			it.Wait(int64(j) + 1)
+			hasA, hasB := has(idx+1, j), has(idx+2, j)
+			if !hasA && !hasB && carry == 0 {
+				break
+			}
+			base := j * wordsPerBlock
+			for w := 0; w < wordsPerBlock; w++ {
+				var aw, bw uint64
+				if hasA {
+					aw = a[base+w]
+				}
+				if hasB {
+					bw = b[base+w]
+				}
+				s1 := aw + bw
+				c1 := b2u(s1 < aw)
+				s2 := s1 + carry
+				c2 := b2u(s2 < s1)
+				out[base+w] = s2
+				carry = c1 + c2
+			}
+			j++
+		}
+		lens[idx+3].Store(int64(j))
+	})
+
+	nBlocks := int(lens[n].Load())
+	return wordsToBig(bufs[(iters-1+2)%3], nBlocks*wordsPerBlock)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SerialFine is the single-threaded counterpart of Fine with the same
+// data layout (the TS of Figure 9).
+func SerialFine(n int) *big.Int {
+	if n < 3 {
+		return fibSmall(n)
+	}
+	maxBits := n + 2
+	bufs := [3][]uint8{
+		make([]uint8, maxBits),
+		make([]uint8, maxBits),
+		make([]uint8, maxBits),
+	}
+	lens := make([]int, n+1)
+	bufs[0][0] = 1
+	bufs[1][0] = 1
+	lens[1], lens[2] = 1, 1
+	iters := n - 2
+	for idx := 0; idx < iters; idx++ {
+		a, b, out := bufs[idx%3], bufs[(idx+1)%3], bufs[(idx+2)%3]
+		la, lb := lens[idx+1], lens[idx+2]
+		carry := uint8(0)
+		j := 0
+		for j < la || j < lb || carry > 0 {
+			s := carry
+			if j < la {
+				s += a[j]
+			}
+			if j < lb {
+				s += b[j]
+			}
+			out[j] = s & 1
+			carry = s >> 1
+			j++
+		}
+		lens[idx+3] = j
+	}
+	return bitsToBig(bufs[(iters-1+2)%3], lens[n])
+}
+
+// SerialCoarse is the single-threaded counterpart of Coarse.
+func SerialCoarse(n int) *big.Int {
+	if n < 3 {
+		return fibSmall(n)
+	}
+	maxBlocks := (n+2)/blockBits + 2
+	bufs := [3][]uint64{
+		make([]uint64, maxBlocks*wordsPerBlock),
+		make([]uint64, maxBlocks*wordsPerBlock),
+		make([]uint64, maxBlocks*wordsPerBlock),
+	}
+	lens := make([]int, n+1)
+	bufs[0][0] = 1
+	bufs[1][0] = 1
+	lens[1], lens[2] = 1, 1
+	iters := n - 2
+	for idx := 0; idx < iters; idx++ {
+		a, b, out := bufs[idx%3], bufs[(idx+1)%3], bufs[(idx+2)%3]
+		la, lb := lens[idx+1], lens[idx+2]
+		var carry uint64
+		j := 0
+		for j < la || j < lb || carry > 0 {
+			base := j * wordsPerBlock
+			for w := 0; w < wordsPerBlock; w++ {
+				var aw, bw uint64
+				if j < la {
+					aw = a[base+w]
+				}
+				if j < lb {
+					bw = b[base+w]
+				}
+				s1 := aw + bw
+				c1 := b2u(s1 < aw)
+				s2 := s1 + carry
+				c2 := b2u(s2 < s1)
+				out[base+w] = s2
+				carry = c1 + c2
+			}
+			j++
+		}
+		lens[idx+3] = j
+	}
+	return wordsToBig(bufs[(iters-1+2)%3], lens[n]*wordsPerBlock)
+}
+
+// Reference computes F(n) with math/big, the correctness oracle.
+func Reference(n int) *big.Int {
+	a, b := big.NewInt(1), big.NewInt(1) // F(1), F(2)
+	if n <= 2 {
+		return a
+	}
+	for i := 3; i <= n; i++ {
+		a.Add(a, b)
+		a, b = b, a
+	}
+	return b
+}
+
+func fibSmall(n int) *big.Int {
+	if n < 1 {
+		return big.NewInt(0)
+	}
+	return Reference(n)
+}
+
+func bitsToBig(bits []uint8, n int) *big.Int {
+	v := new(big.Int)
+	for j := n - 1; j >= 0; j-- {
+		v.Lsh(v, 1)
+		if bits[j] != 0 {
+			v.Or(v, big.NewInt(1))
+		}
+	}
+	return v
+}
+
+func wordsToBig(words []uint64, n int) *big.Int {
+	v := new(big.Int)
+	buf := make([]byte, 8*n)
+	for w := 0; w < n; w++ {
+		x := words[w]
+		for by := 0; by < 8; by++ {
+			buf[8*n-1-(8*w+by)] = byte(x >> (8 * by))
+		}
+	}
+	return v.SetBytes(buf)
+}

@@ -1,0 +1,114 @@
+package pipefib
+
+import (
+	"testing"
+
+	"piper"
+)
+
+func TestReferenceSmall(t *testing.T) {
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for n := 1; n <= 10; n++ {
+		if got := Reference(n).Int64(); got != want[n] {
+			t.Fatalf("Reference(%d) = %d, want %d", n, got, want[n])
+		}
+	}
+}
+
+func TestSerialFineMatchesReference(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 10, 50, 100, 500, 1234} {
+		got := SerialFine(n)
+		want := Reference(n)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("SerialFine(%d) = %s, want %s", n, got, want)
+		}
+	}
+}
+
+func TestSerialCoarseMatchesReference(t *testing.T) {
+	for _, n := range []int{3, 10, 100, 300, 1000, 2500} {
+		got := SerialCoarse(n)
+		want := Reference(n)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("SerialCoarse(%d) mismatch", n)
+		}
+	}
+}
+
+func TestFineMatchesReference(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		eng := piper.NewEngine(piper.Workers(p))
+		for _, n := range []int{3, 5, 16, 64, 200, 800} {
+			got := Fine(eng, 4*p, n)
+			want := Reference(n)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("P=%d: Fine(%d) = %s, want %s", p, n, got, want)
+			}
+		}
+		eng.Close()
+	}
+}
+
+func TestCoarseMatchesReference(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		eng := piper.NewEngine(piper.Workers(p))
+		for _, n := range []int{3, 100, 500, 2000, 5000} {
+			got := Coarse(eng, 4*p, n)
+			want := Reference(n)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("P=%d: Coarse(%d) mismatch", p, n)
+			}
+		}
+		eng.Close()
+	}
+}
+
+func TestFineWithoutFolding(t *testing.T) {
+	eng := piper.NewEngine(piper.Workers(4), piper.DependencyFolding(false))
+	defer eng.Close()
+	if got := Fine(eng, 16, 600); got.Cmp(Reference(600)) != 0 {
+		t.Fatal("Fine without dependency folding computed a wrong value")
+	}
+}
+
+func TestFoldingActivity(t *testing.T) {
+	eng := piper.NewEngine(piper.Workers(2))
+	defer eng.Close()
+	// Fold hits require iterations to actually overlap, which is
+	// scheduling-dependent at small sizes; retry with growing n.
+	for _, n := range []int{800, 2000, 4000} {
+		Fine(eng, 8, n)
+		if eng.Stats().FoldHits > 0 {
+			return
+		}
+	}
+	t.Fatal("pipe-fib never exercised the dependency-folding cache")
+}
+
+func TestSmallEdgeCases(t *testing.T) {
+	eng := piper.NewEngine(piper.Workers(2))
+	defer eng.Close()
+	for n := 1; n <= 4; n++ {
+		if Fine(eng, 4, n).Cmp(Reference(n)) != 0 {
+			t.Fatalf("Fine(%d) edge case wrong", n)
+		}
+		if Coarse(eng, 4, n).Cmp(Reference(n)) != 0 {
+			t.Fatalf("Coarse(%d) edge case wrong", n)
+		}
+	}
+}
+
+func BenchmarkSerialFine2000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SerialFine(2000)
+	}
+}
+
+func BenchmarkFineP2(b *testing.B) {
+	eng := piper.NewEngine(piper.Workers(2))
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fine(eng, 8, 2000)
+	}
+}

@@ -1,0 +1,88 @@
+package tbbpipe
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Additional tests for the serial-gate machinery.
+
+func TestMultipleSerialGates(t *testing.T) {
+	const n = 400
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	var g1, g2 int64
+	p := New().
+		Add(SerialInOrder, func(v any) any {
+			if int64(v.(int)) != g1 {
+				t.Errorf("gate 1 out of order: %v after %d", v, g1)
+			}
+			g1++
+			return v
+		}).
+		Add(ParallelMode, func(v any) any { return v }).
+		Add(SerialInOrder, func(v any) any {
+			if int64(v.(int)) != g2 {
+				t.Errorf("gate 2 out of order: %v after %d", v, g2)
+			}
+			g2++
+			return v
+		})
+	var count int
+	p.Run(4, 8, sourceFrom(xs), func(any) { count++ })
+	if count != n {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestSerialGateNeverConcurrent(t *testing.T) {
+	const n = 300
+	xs := make([]int, n)
+	var inGate, peak atomic.Int64
+	p := New().Add(SerialInOrder, func(v any) any {
+		l := inGate.Add(1)
+		for {
+			pk := peak.Load()
+			if l <= pk || peak.CompareAndSwap(pk, l) {
+				break
+			}
+		}
+		inGate.Add(-1)
+		return v
+	})
+	p.Run(4, 8, sourceFrom(xs), func(any) {})
+	if peak.Load() != 1 {
+		t.Fatalf("serial gate admitted %d concurrent elements", peak.Load())
+	}
+}
+
+func TestManyWorkersFewTokens(t *testing.T) {
+	const n = 200
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	p := New().Add(ParallelMode, func(v any) any { return v.(int) + 1 })
+	var got []int
+	p.Run(8, 2, sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+	if len(got) != n {
+		t.Fatalf("got %d items", len(got))
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestZeroWorkerClamp(t *testing.T) {
+	xs := []int{1, 2, 3}
+	p := New().Add(ParallelMode, func(v any) any { return v })
+	var count int
+	p.Run(0, 0, sourceFrom(xs), func(any) { count++ }) // clamped to 1,1
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}

@@ -1,0 +1,242 @@
+// Package tbbpipe implements a construct-and-run, bind-to-element
+// pipeline in the style of Intel TBB's parallel_pipeline: the stage graph
+// (filters and their serial/parallel modes) is fixed before execution, a
+// token limit throttles the number of in-flight elements, and a pool of
+// worker threads carries elements through consecutive filters, parking an
+// element at a serial filter when it arrives out of order.
+//
+// This is the comparison baseline for Figures 6 and 7; its construct-and-
+// run nature is exactly what makes x264 inexpressible in it (Section 10).
+package tbbpipe
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Mode is a filter's concurrency mode.
+type Mode int8
+
+const (
+	// SerialInOrder filters process elements one at a time, in input
+	// order (TBB's serial_in_order).
+	SerialInOrder Mode = iota
+	// ParallelMode filters process any number of elements concurrently.
+	ParallelMode
+)
+
+// Filter is one pipeline stage.
+type Filter struct {
+	Mode Mode
+	// Fn transforms an element; a nil result drops the element.
+	Fn func(v any) any
+}
+
+// token is an element travelling the pipeline.
+type token struct {
+	seq   int64
+	v     any
+	stage int
+}
+
+// serialGate sequences tokens through a SerialInOrder filter.
+type serialGate struct {
+	mu      sync.Mutex
+	next    int64
+	pending map[int64]*token
+	busy    bool
+}
+
+// Pipeline is an immutable filter chain; build with Add, then Run.
+type Pipeline struct {
+	filters []Filter
+}
+
+// New returns an empty pipeline.
+func New() *Pipeline { return &Pipeline{} }
+
+// Add appends a filter.
+func (p *Pipeline) Add(mode Mode, fn func(v any) any) *Pipeline {
+	p.filters = append(p.filters, Filter{Mode: mode, Fn: fn})
+	return p
+}
+
+// Run executes the pipeline with the given worker-thread count and token
+// limit (TBB's max_number_of_live_tokens — the throttling analogue of
+// PIPER's K). source is the input filter, executed serially in order;
+// sink consumes survivors in order (attach it as a final SerialInOrder
+// filter if ordering matters downstream; Run wires it that way).
+func (p *Pipeline) Run(workers, maxTokens int, source func() (any, bool), sink func(any)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxTokens < 1 {
+		maxTokens = 1
+	}
+	filters := make([]Filter, 0, len(p.filters)+1)
+	filters = append(filters, p.filters...)
+	filters = append(filters, Filter{Mode: SerialInOrder, Fn: func(v any) any {
+		sink(v)
+		return nil
+	}})
+
+	e := &exec{
+		filters: filters,
+		gates:   make([]*serialGate, len(filters)),
+		tokens:  make(chan struct{}, maxTokens),
+		queue:   make(chan *token, maxTokens+workers),
+		source:  source,
+	}
+	for i, f := range filters {
+		if f.Mode == SerialInOrder {
+			e.gates[i] = &serialGate{pending: make(map[int64]*token)}
+		}
+	}
+	for i := 0; i < maxTokens; i++ {
+		e.tokens <- struct{}{}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.worker()
+		}()
+	}
+	wg.Wait()
+}
+
+type exec struct {
+	filters []Filter
+	gates   []*serialGate
+	tokens  chan struct{}
+	queue   chan *token
+
+	srcMu   sync.Mutex
+	source  func() (any, bool)
+	srcSeq  int64
+	srcDone bool
+
+	quitMu    sync.Mutex
+	liveCount int64
+}
+
+// nextInput pulls one element from the input filter under the source lock
+// (input filters are serial in order in TBB).
+func (e *exec) nextInput() (*token, bool) {
+	e.srcMu.Lock()
+	defer e.srcMu.Unlock()
+	if e.srcDone {
+		return nil, false
+	}
+	v, ok := e.source()
+	if !ok {
+		e.srcDone = true
+		return nil, false
+	}
+	t := &token{seq: e.srcSeq, v: v}
+	e.srcSeq++
+	return t, true
+}
+
+func (e *exec) worker() {
+	for {
+		// Prefer queued (resumed) tokens over new input.
+		select {
+		case t := <-e.queue:
+			e.advance(t)
+			continue
+		default:
+		}
+		select {
+		case t := <-e.queue:
+			e.advance(t)
+		case <-e.tokens:
+			t, ok := e.nextInput()
+			if !ok {
+				// Return the token and retire if the pipeline is dry.
+				e.tokens <- struct{}{}
+				if e.done() {
+					return
+				}
+				// Other tokens are still in flight; help drain them.
+				select {
+				case t := <-e.queue:
+					e.advance(t)
+				default:
+					runtime.Gosched()
+				}
+				continue
+			}
+			e.live(1)
+			e.advance(t)
+		}
+	}
+}
+
+// live tracks in-flight tokens so workers know when the pipeline is dry.
+func (e *exec) live(d int64) {
+	e.quitMu.Lock()
+	e.liveCount += d
+	e.quitMu.Unlock()
+}
+
+// done reports whether input is exhausted and nothing is in flight.
+func (e *exec) done() bool {
+	e.quitMu.Lock()
+	defer e.quitMu.Unlock()
+	return e.srcExhausted() && e.liveCount == 0 && len(e.queue) == 0
+}
+
+func (e *exec) srcExhausted() bool {
+	e.srcMu.Lock()
+	defer e.srcMu.Unlock()
+	return e.srcDone
+}
+
+// advance carries a token through filters until it finishes, is dropped,
+// or parks at a busy/out-of-order serial filter.
+func (e *exec) advance(t *token) {
+	for t.stage < len(e.filters) {
+		f := e.filters[t.stage]
+		if f.Mode == ParallelMode {
+			if t.v != nil {
+				t.v = f.Fn(t.v)
+			}
+			// Dropped elements (v == nil) still pass the remaining serial
+			// gates so that ordering is preserved.
+			t.stage++
+			continue
+		}
+		g := e.gates[t.stage]
+		g.mu.Lock()
+		if t.seq != g.next || g.busy {
+			g.pending[t.seq] = t
+			g.mu.Unlock()
+			return // parked; the in-order predecessor will requeue it
+		}
+		g.busy = true
+		g.mu.Unlock()
+
+		if t.v != nil {
+			t.v = f.Fn(t.v)
+		}
+
+		g.mu.Lock()
+		g.next++
+		g.busy = false
+		nxt, ok := g.pending[g.next]
+		if ok {
+			delete(g.pending, g.next)
+		}
+		g.mu.Unlock()
+		if ok {
+			e.queue <- nxt
+		}
+		t.stage++
+	}
+	// Token retired: free a slot for new input.
+	e.live(-1)
+	e.tokens <- struct{}{}
+}

@@ -1,0 +1,157 @@
+package tbbpipe
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"piper/internal/workload"
+)
+
+func sourceFrom(xs []int) func() (any, bool) {
+	i := 0
+	return func() (any, bool) {
+		if i >= len(xs) {
+			return nil, false
+		}
+		v := xs[i]
+		i++
+		return v, true
+	}
+}
+
+func TestInOrderSink(t *testing.T) {
+	const n = 1000
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	p := New().
+		Add(ParallelMode, func(v any) any { return v.(int) * 2 }).
+		Add(SerialInOrder, func(v any) any { return v })
+	var got []int
+	p.Run(4, 8, sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+	if len(got) != n {
+		t.Fatalf("got %d items, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != 2*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestTokenLimitThrottles(t *testing.T) {
+	const n, maxTokens = 400, 3
+	xs := make([]int, n)
+	var live, peak atomic.Int64
+	p := New().
+		Add(ParallelMode, func(v any) any {
+			l := live.Add(1)
+			for {
+				pk := peak.Load()
+				if l <= pk || peak.CompareAndSwap(pk, l) {
+					break
+				}
+			}
+			live.Add(-1)
+			return v
+		})
+	p.Run(4, maxTokens, sourceFrom(xs), func(any) {})
+	if pk := peak.Load(); pk > maxTokens {
+		t.Fatalf("observed %d concurrent tokens, limit %d", pk, maxTokens)
+	}
+}
+
+func TestSerialStagesSequential(t *testing.T) {
+	const n = 500
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	var seen int64
+	p := New().
+		Add(SerialInOrder, func(v any) any {
+			if int64(v.(int)) != seen {
+				t.Errorf("serial filter saw %v, want %d", v, seen)
+			}
+			seen++
+			return v
+		}).
+		Add(ParallelMode, func(v any) any { return v })
+	var count int
+	p.Run(4, 6, sourceFrom(xs), func(any) { count++ })
+	if count != n {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestDropsPreserveOrdering(t *testing.T) {
+	const n = 300
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	p := New().Add(ParallelMode, func(v any) any {
+		if v.(int)%3 != 0 {
+			return nil
+		}
+		return v
+	})
+	var got []int
+	p.Run(3, 5, sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+	for i, v := range got {
+		if v != 3*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSingleWorkerSingleToken(t *testing.T) {
+	xs := []int{5, 4, 3, 2, 1}
+	p := New().Add(SerialInOrder, func(v any) any { return v.(int) * v.(int) })
+	var got []int
+	p.Run(1, 1, sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+	want := []int{25, 16, 9, 4, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestEmptySource(t *testing.T) {
+	p := New().Add(ParallelMode, func(v any) any { return v })
+	ran := false
+	p.Run(3, 4, func() (any, bool) { return nil, false }, func(any) { ran = true })
+	if ran {
+		t.Fatal("sink ran for empty source")
+	}
+}
+
+func TestQuickCompleteness(t *testing.T) {
+	prop := func(seed uint64, nRaw uint16, wRaw, tokRaw uint8) bool {
+		n := int(nRaw%300) + 1
+		workers := int(wRaw%6) + 1
+		toks := int(tokRaw%8) + 1
+		r := workload.NewRNG(seed)
+		xs := r.Perm(n)
+		p := New().
+			Add(ParallelMode, func(v any) any { return v.(int) ^ 1 }).
+			Add(SerialInOrder, func(v any) any { return v })
+		var got []int
+		p.Run(workers, toks, sourceFrom(xs), func(v any) { got = append(got, v.(int)) })
+		if len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != xs[i]^1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+package vidsim
+
+import (
+	"sync/atomic"
+)
+
+// Config sets the encoder parameters that matter for scheduling.
+type Config struct {
+	// W is the row-offset dependency in macroblock rows — the paper's
+	// w = mv_range / pixels_per_row. Motion vectors may reach this many
+	// MB rows below the current row in the reference frame.
+	W int
+	// QShift is the quantization strength (larger = coarser).
+	QShift uint
+	// Gop, BRun, CutThresh configure the frame-type decider.
+	Gop, BRun, CutThresh int
+}
+
+// DefaultConfig mirrors a small but realistic operating point.
+func DefaultConfig() Config {
+	return Config{W: 1, QShift: 4, Gop: 24, BRun: 2, CutThresh: 24}
+}
+
+// Recon is a frame reconstruction being produced by the encoder. Inter
+// prediction reads reconstructions, not source frames, so a scheduler
+// that violated the row dependencies would corrupt the bitstream — the
+// tests rely on this to give the dependency audit teeth.
+type Recon struct {
+	Frame    int
+	Pix      []byte
+	rowsDone atomic.Int32 // completed macroblock rows
+}
+
+// RowsDone reports how many MB rows of the reconstruction are complete.
+func (rc *Recon) RowsDone() int { return int(rc.rowsDone.Load()) }
+
+// Encoder encodes one video with shared, immutable configuration.
+// Its methods are safe for concurrent use on distinct frames/rows as long
+// as the pipeline dependencies are respected; the violations counter
+// records any read of reconstruction rows that were not yet complete.
+type Encoder struct {
+	Video      *Video
+	Cfg        Config
+	violations atomic.Int64
+}
+
+// NewEncoder wraps a video.
+func NewEncoder(v *Video, cfg Config) *Encoder {
+	if cfg.W < 1 {
+		cfg.W = 1
+	}
+	return &Encoder{Video: v, Cfg: cfg}
+}
+
+// Violations reports audited dependency violations (must stay 0 under a
+// correct scheduler).
+func (e *Encoder) Violations() int64 { return e.violations.Load() }
+
+// NewRecon allocates the reconstruction buffer for frame fi.
+func (e *Encoder) NewRecon(fi int) *Recon {
+	return &Recon{Frame: fi, Pix: make([]byte, e.Video.W*e.Video.H)}
+}
+
+// searchRange is the motion-search radius in pixels for a given row
+// offset w.
+func (e *Encoder) searchRange() int { return e.Cfg.W * MB }
+
+// EncodeRow encodes macroblock row r of frame fi into rc. For TypeP the
+// ref reconstruction must have rows 0..min(r+W, rows-1) complete; the
+// encoder audits this. It returns the row's bit cost and a checksum.
+func (e *Encoder) EncodeRow(fi int, typ FrameType, r int, rc *Recon, ref *Recon) (int64, uint64) {
+	v := e.Video
+	cols := v.Cols()
+	var bits int64
+	var sum uint64 = 1469598103934665603
+	for c := 0; c < cols; c++ {
+		var mbBits int64
+		var mbSig uint64
+		if typ == TypeI || ref == nil {
+			mbBits, mbSig = e.encodeIntraMB(fi, r, c, rc)
+		} else {
+			mbBits, mbSig = e.encodeInterMB(fi, r, c, rc, ref)
+		}
+		bits += mbBits
+		sum = (sum ^ mbSig) * 1099511628211
+	}
+	rc.rowsDone.Store(int32(r + 1))
+	return bits, sum
+}
+
+// dcPredict computes the DC intra predictor for the macroblock at
+// (x0, y0): the mean of the reconstructed row above and column to the
+// left, or 128 at the frame corner. Both the encoder and the decoder
+// run this on their own reconstruction, which is what keeps them in sync.
+func dcPredict(pix []byte, stride, x0, y0 int) int {
+	var dc, n int
+	if y0 > 0 {
+		for x := x0; x < x0+MB; x++ {
+			dc += int(pix[(y0-1)*stride+x])
+			n++
+		}
+	}
+	if x0 > 0 {
+		for y := y0; y < y0+MB; y++ {
+			dc += int(pix[y*stride+x0-1])
+			n++
+		}
+	}
+	if n == 0 {
+		return 128
+	}
+	return dc / n
+}
+
+// encodeIntraMB performs DC intra prediction from the already-encoded
+// neighbours inside the same reconstruction.
+func (e *Encoder) encodeIntraMB(fi, r, c int, rc *Recon) (int64, uint64) {
+	v := e.Video
+	src := v.Frames[fi]
+	x0, y0 := c*MB, r*MB
+	pred := dcPredict(rc.Pix, v.W, x0, y0)
+	bits, sig := e.reconstructMB(src, rc, x0, y0, func(x, y int) int { return pred })
+	return bits + 6, sig ^ 0xA5A5 // mode header
+}
+
+// encodeInterMB motion-searches the reference reconstruction within the
+// legal window and falls back to intra when the match is poor.
+func (e *Encoder) encodeInterMB(fi, r, c int, rc *Recon, ref *Recon) (int64, uint64) {
+	v := e.Video
+	src := v.Frames[fi]
+	x0, y0 := c*MB, r*MB
+	rows := v.Rows()
+
+	// Audit the cross-frame dependency: we may touch ref rows up to r+W.
+	need := r + e.Cfg.W
+	if need > rows-1 {
+		need = rows - 1
+	}
+	if ref.RowsDone() < need+1 {
+		e.violations.Add(1)
+	}
+
+	bdx, bdy, bestSAD := e.motionSearch(src, ref.Pix, x0, y0, r)
+
+	// Intra fallback for bad matches (e.g. right after occlusions).
+	if bestSAD > 24*MB*MB {
+		return e.encodeIntraMB(fi, r, c, rc)
+	}
+
+	mx, my := x0+bdx, y0+bdy
+	bits, sig := e.reconstructMB(src, rc, x0, y0, func(x, y int) int {
+		return int(ref.Pix[(my+(y-y0))*v.W+mx+(x-x0)])
+	})
+	sig = sig*31 + uint64(uint32(bdx*131071+bdy))
+	return bits + 10, sig // mv + header bits
+}
+
+// reconstructMB quantizes the residual against pred and writes the
+// reconstruction, returning the bit estimate and a content signature.
+func (e *Encoder) reconstructMB(src []byte, rc *Recon, x0, y0 int, pred func(x, y int) int) (int64, uint64) {
+	v := e.Video
+	q := e.Cfg.QShift
+	var bits int64
+	var sig uint64 = 14695981039346656037
+	for y := y0; y < y0+MB; y++ {
+		row := y * v.W
+		for x := x0; x < x0+MB; x++ {
+			p := pred(x, y)
+			res := int(src[row+x]) - p
+			// Quantize toward zero (Go's integer division), as real
+			// codecs do: small residuals of either sign become 0.
+			qres := res / (1 << q) * (1 << q)
+			rec := p + qres
+			if rec < 0 {
+				rec = 0
+			}
+			if rec > 255 {
+				rec = 255
+			}
+			rc.Pix[row+x] = byte(rec)
+			ares := res
+			if ares < 0 {
+				ares = -ares
+			}
+			bits += int64(ares >> q)
+			sig = (sig ^ uint64(byte(rec))) * 1099511628211
+		}
+	}
+	return bits, sig
+}
+
+// motionSearch finds the best motion vector for the MB at (x0, y0) of
+// row r within the legal window (reference rows <= r + W), scanning a
+// 4-pixel grid with deterministic tie-breaking. It returns the vector
+// and its SAD.
+func (e *Encoder) motionSearch(src, refPix []byte, x0, y0, r int) (int, int, int64) {
+	v := e.Video
+	bestSAD, bdx, bdy := e.sad(src, refPix, x0, y0, x0, y0, int64(1)<<62), 0, 0
+	rangePx := e.searchRange()
+	maxY := (r+e.Cfg.W+1)*MB - MB // stay within completed ref rows
+	if maxY > v.H-MB {
+		maxY = v.H - MB
+	}
+	for dy := -rangePx; dy <= rangePx; dy += 4 {
+		y := y0 + dy
+		if y < 0 || y > maxY {
+			continue
+		}
+		for dx := -rangePx; dx <= rangePx; dx += 4 {
+			x := x0 + dx
+			if x < 0 || x > v.W-MB {
+				continue
+			}
+			s := e.sad(src, refPix, x0, y0, x, y, bestSAD)
+			if s < bestSAD || (s == bestSAD && (dy < bdy || (dy == bdy && dx < bdx))) {
+				bestSAD, bdx, bdy = s, dx, dy
+			}
+		}
+	}
+	return bdx, bdy, bestSAD
+}
+
+// sad computes the sum of absolute differences between the MB at (x0,y0)
+// in src and the block at (x,y) in ref, with early exit past limit.
+func (e *Encoder) sad(src, ref []byte, x0, y0, x, y int, limit int64) int64 {
+	v := e.Video
+	var s int64
+	for r := 0; r < MB; r++ {
+		a := src[(y0+r)*v.W+x0 : (y0+r)*v.W+x0+MB]
+		b := ref[(y+r)*v.W+x : (y+r)*v.W+x+MB]
+		for i := 0; i < MB; i++ {
+			d := int64(a[i]) - int64(b[i])
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		if s >= limit {
+			return s
+		}
+	}
+	return s
+}
+
+// EncodeB encodes B-frame bi (no reconstruction is produced; B-frames are
+// not references). fwd is the preceding I/P reconstruction (may be nil
+// right after a scene cut, when only backward prediction is safe), bwd
+// the succeeding one; both must be fully reconstructed.
+func (e *Encoder) EncodeB(bi int, fwd, bwd *Recon) (int64, uint64) {
+	v := e.Video
+	rows := v.Rows()
+	if fwd != nil && fwd.RowsDone() < rows {
+		e.violations.Add(1)
+	}
+	if bwd != nil && bwd.RowsDone() < rows {
+		e.violations.Add(1)
+	}
+	src := v.Frames[bi]
+	var bits int64
+	var sum uint64 = 1469598103934665603
+	scratch := &Recon{Pix: make([]byte, len(src))}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < v.Cols(); c++ {
+			x0, y0 := c*MB, r*MB
+			best := int64(1) << 62
+			var sig uint64
+			for ri, ref := range []*Recon{fwd, bwd} {
+				if ref == nil {
+					continue
+				}
+				s := e.sad(src, ref.Pix, x0, y0, x0, y0, best)
+				if s < best {
+					best = s
+					sig = uint64(ri)
+				}
+			}
+			if best == int64(1)<<62 {
+				// No reference at all: intra-code the block.
+				b, g := e.encodeIntraMB(bi, r, c, scratch)
+				bits += b
+				sum = (sum ^ g) * 1099511628211
+				continue
+			}
+			bits += best>>e.Cfg.QShift + 4
+			sum = (sum ^ (sig*2654435761 + uint64(best))) * 1099511628211
+		}
+	}
+	return bits, sum
+}

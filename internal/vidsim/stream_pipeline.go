@@ -1,0 +1,71 @@
+package vidsim
+
+import (
+	"bytes"
+
+	"piper"
+)
+
+// EncodePiperStream produces the coded bitstream with the on-the-fly
+// pipeline of Figure 2: rows are coded in parallel across frames (each
+// row into its own buffer) subject to the usual cross-frame dependencies,
+// and the serial END stage splices frames into the stream in order. The
+// output must be byte-identical to EncodeStream for any worker count.
+func EncodePiperStream(eng *piper.Engine, k int, v *Video, cfg Config) *Stream {
+	e := NewEncoder(v, cfg)
+	cfg = e.Cfg
+	d := NewTypeDecider(v, cfg.Gop, cfg.BRun, cfg.CutThresh)
+	rows := v.Rows()
+
+	head := &streamWriter{}
+	head.buf.Write(streamMagic)
+	head.uvarint(uint64(v.W))
+	head.uvarint(uint64(v.H))
+	head.uvarint(uint64(len(v.Frames)))
+	head.uvarint(uint64(cfg.QShift))
+	var out bytes.Buffer
+	out.Write(head.buf.Bytes())
+
+	var prevRef *Recon
+	var recons []*Recon
+	cursor, iterIdx := 0, 0
+
+	piper.PipeThrottled(eng, k, func() (*ipJob, bool) {
+		return gather(d, len(v.Frames), &cursor)
+	}, func(it *piper.Iter, job *ipJob) {
+		// Stage 0 (serial): link the reference chain.
+		job.prev = prevRef
+		job.rc = e.NewRecon(job.fi)
+		prevRef = job.rc
+		skip := int64(cfg.W * iterIdx)
+		iterIdx++
+
+		base := processIPFrame + skip
+		it.Wait(base)
+
+		rowBufs := make([]*streamWriter, rows)
+		for r := 0; r < rows; r++ {
+			w := &streamWriter{}
+			e.EncodeRowStream(job.fi, job.typ, r, job.rc, job.prev, w)
+			rowBufs[r] = w
+			if job.typ == TypeI {
+				it.Continue(base + int64(r) + 1)
+			} else {
+				it.Wait(base + int64(r) + 1)
+			}
+		}
+
+		it.Wait(endStage) // serial: splice the frame into the stream
+		out.WriteByte(frameMarker)
+		fw := &streamWriter{}
+		fw.uvarint(uint64(job.fi))
+		out.Write(fw.buf.Bytes())
+		out.WriteByte(byte(job.typ))
+		for _, w := range rowBufs {
+			out.Write(w.buf.Bytes())
+		}
+		recons = append(recons, job.rc)
+	})
+	out.WriteByte(endMarker)
+	return &Stream{Bytes: out.Bytes(), Recons: recons}
+}

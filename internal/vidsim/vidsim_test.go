@@ -1,0 +1,236 @@
+package vidsim
+
+import (
+	"testing"
+
+	"piper"
+)
+
+func smallVideo(seed uint64) *Video {
+	return Generate(seed, 128, 64, 40, 15)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(1, 64, 32, 10, 0)
+	b := Generate(1, 64, 32, 10, 0)
+	for f := range a.Frames {
+		for p := range a.Frames[f] {
+			if a.Frames[f][p] != b.Frames[f][p] {
+				t.Fatal("video generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestGenerateBadDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-multiple-of-16 dims")
+		}
+	}()
+	Generate(1, 30, 32, 2, 0)
+}
+
+func TestTypeDeciderPattern(t *testing.T) {
+	v := Generate(2, 64, 32, 30, 0) // no scene cuts
+	d := NewTypeDecider(v, 12, 2, 0)
+	types := make([]FrameType, 30)
+	for i := range types {
+		types[i] = d.Decide(i)
+	}
+	if types[0] != TypeI {
+		t.Fatal("frame 0 must be I")
+	}
+	// With bRun=2 the pattern after an I is B B P B B P ...
+	if types[1] != TypeB || types[2] != TypeB || types[3] != TypeP {
+		t.Fatalf("pattern start = %v %v %v, want B B P", types[1], types[2], types[3])
+	}
+	// An IDR appears within every gop+1 window.
+	for lo := 0; lo+13 < len(types); lo++ {
+		hasI := false
+		for _, ty := range types[lo : lo+13] {
+			if ty == TypeI {
+				hasI = true
+				break
+			}
+		}
+		if !hasI {
+			t.Fatalf("no IDR in window starting at %d", lo)
+		}
+	}
+}
+
+func TestSceneCutForcesI(t *testing.T) {
+	v := Generate(3, 64, 32, 40, 10) // scene change every 10 frames
+	d := NewTypeDecider(v, 1000, 2, 20)
+	types := make([]FrameType, 40)
+	iCount := 0
+	for i := range types {
+		types[i] = d.Decide(i)
+		if types[i] == TypeI {
+			iCount++
+		}
+	}
+	// Frame 0 plus ~one per scene change.
+	if iCount < 3 {
+		t.Fatalf("scene cuts produced only %d I-frames", iCount)
+	}
+}
+
+func TestSerialEncodeBasics(t *testing.T) {
+	v := smallVideo(4)
+	res := EncodeSerial(v, DefaultConfig())
+	if res.Violations != 0 {
+		t.Fatalf("serial encode reported %d dependency violations", res.Violations)
+	}
+	if res.TotalBits <= 0 {
+		t.Fatal("no bits produced")
+	}
+	if len(res.Order) == 0 || res.Order[0] != 0 {
+		t.Fatalf("order = %v", res.Order)
+	}
+	for fi, st := range res.Stats {
+		if st.Frame != fi {
+			t.Fatalf("stats[%d] holds frame %d", fi, st.Frame)
+		}
+	}
+}
+
+// TestMotionSearchFindsMotion: P-frames of a moving scene must cost far
+// fewer bits than intra-coding everything.
+func TestMotionSearchFindsMotion(t *testing.T) {
+	v := smallVideo(5)
+	res := EncodeSerial(v, DefaultConfig())
+	var iBits, iN, pBits, pN int64
+	for _, st := range res.Stats {
+		switch st.Type {
+		case TypeI:
+			iBits += st.Bits
+			iN++
+		case TypeP:
+			pBits += st.Bits
+			pN++
+		}
+	}
+	if iN == 0 || pN == 0 {
+		t.Fatalf("need both I and P frames (got %d I, %d P)", iN, pN)
+	}
+	if pBits/pN >= iBits/iN {
+		t.Fatalf("P frames (%d avg bits) should be cheaper than I frames (%d avg bits)",
+			pBits/pN, iBits/iN)
+	}
+}
+
+// TestPiperMatchesSerial: bit-exact reproduction across executors, the
+// cross-executor oracle. Because inter prediction reads reconstructions,
+// any dependency violation by the scheduler would change the checksum.
+func TestPiperMatchesSerial(t *testing.T) {
+	v := smallVideo(6)
+	cfg := DefaultConfig()
+	want := EncodeSerial(v, cfg)
+	for _, p := range []int{1, 2, 4, 8} {
+		eng := piper.NewEngine(piper.Workers(p))
+		got := EncodePiper(eng, 4*p, v, cfg)
+		eng.Close()
+		if got.Violations != 0 {
+			t.Fatalf("P=%d: %d dependency violations", p, got.Violations)
+		}
+		if got.Checksum != want.Checksum {
+			t.Fatalf("P=%d: checksum %x != serial %x", p, got.Checksum, want.Checksum)
+		}
+		if got.TotalBits != want.TotalBits {
+			t.Fatalf("P=%d: bits %d != serial %d", p, got.TotalBits, want.TotalBits)
+		}
+		for i := range want.Order {
+			if got.Order[i] != want.Order[i] {
+				t.Fatalf("P=%d: write order differs at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestThreadsMatchesSerial(t *testing.T) {
+	v := smallVideo(7)
+	cfg := DefaultConfig()
+	want := EncodeSerial(v, cfg)
+	for _, th := range []int{1, 2, 4} {
+		got := EncodeThreads(v, cfg, th)
+		if got.Violations != 0 {
+			t.Fatalf("threads=%d: %d dependency violations", th, got.Violations)
+		}
+		if got.Checksum != want.Checksum {
+			t.Fatalf("threads=%d: checksum mismatch", th)
+		}
+	}
+}
+
+// TestOffsetDependencyW2: a wider motion range (w=2) still schedules
+// correctly (more skipped stages per iteration).
+func TestOffsetDependencyW2(t *testing.T) {
+	v := smallVideo(8)
+	cfg := DefaultConfig()
+	cfg.W = 2
+	want := EncodeSerial(v, cfg)
+	eng := piper.NewEngine(piper.Workers(4))
+	defer eng.Close()
+	got := EncodePiper(eng, 16, v, cfg)
+	if got.Violations != 0 {
+		t.Fatalf("%d dependency violations", got.Violations)
+	}
+	if got.Checksum != want.Checksum {
+		t.Fatal("checksum mismatch with w=2")
+	}
+}
+
+// TestAllIStream: gop=1 makes every reference an I-frame; the pipeline is
+// then fully parallel across row stages (no cross edges).
+func TestAllIStream(t *testing.T) {
+	v := smallVideo(9)
+	cfg := DefaultConfig()
+	cfg.Gop = 1
+	cfg.BRun = 0
+	want := EncodeSerial(v, cfg)
+	for _, st := range want.Stats {
+		if st.Type != TypeI {
+			t.Fatalf("frame %d has type %v, want I", st.Frame, st.Type)
+		}
+	}
+	eng := piper.NewEngine(piper.Workers(4))
+	defer eng.Close()
+	got := EncodePiper(eng, 8, v, cfg)
+	if got.Checksum != want.Checksum {
+		t.Fatal("checksum mismatch for all-I stream")
+	}
+}
+
+// TestBFramesEncoded: every B frame gets stats and costs fewer bits on
+// average than references.
+func TestBFramesEncoded(t *testing.T) {
+	v := smallVideo(10)
+	res := EncodeSerial(v, DefaultConfig())
+	var bN int64
+	for _, st := range res.Stats {
+		if st.Type == TypeB {
+			bN++
+			if st.Sig == 0 {
+				t.Fatalf("B frame %d has empty signature", st.Frame)
+			}
+		}
+	}
+	if bN == 0 {
+		t.Fatal("no B frames in stream")
+	}
+}
+
+func TestReconRowsDone(t *testing.T) {
+	v := smallVideo(11)
+	e := NewEncoder(v, DefaultConfig())
+	rc := e.NewRecon(0)
+	if rc.RowsDone() != 0 {
+		t.Fatal("fresh recon should have 0 rows")
+	}
+	e.EncodeRow(0, TypeI, 0, rc, nil)
+	if rc.RowsDone() != 1 {
+		t.Fatalf("rows done = %d, want 1", rc.RowsDone())
+	}
+}

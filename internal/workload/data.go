@@ -1,0 +1,49 @@
+package workload
+
+// TextStream generates size bytes of compressible pseudo-text built from a
+// small word alphabet. The duplicateRatio in [0,1] controls how often a
+// whole block is repeated verbatim from earlier in the stream, which gives
+// the dedup substrate a controllable duplicate population.
+func TextStream(seed uint64, size int, blockSize int, duplicateRatio float64) []byte {
+	if blockSize <= 0 {
+		blockSize = 4096
+	}
+	r := NewRNG(seed)
+	words := []string{
+		"pipeline", "parallel", "stage", "iteration", "worker", "steal",
+		"throttle", "frame", "cross", "edge", "span", "work", "deque",
+		"node", "serial", "hybrid", "cilk", "piper", "fold", "enable",
+	}
+	out := make([]byte, 0, size)
+	var blocks [][]byte
+	for len(out) < size {
+		if len(blocks) > 0 && r.Float64() < duplicateRatio {
+			b := blocks[r.Intn(len(blocks))]
+			out = append(out, b...)
+			continue
+		}
+		block := make([]byte, 0, blockSize)
+		for len(block) < blockSize {
+			w := words[r.Intn(len(words))]
+			block = append(block, w...)
+			block = append(block, ' ')
+			if r.Intn(12) == 0 {
+				block = append(block, '\n')
+			}
+		}
+		blocks = append(blocks, block)
+		out = append(out, block...)
+	}
+	return out[:size]
+}
+
+// Vector returns a deterministic pseudo-random feature vector of dim
+// dimensions with approximately unit-normal entries.
+func Vector(seed uint64, dim int) []float64 {
+	r := NewRNG(seed)
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}

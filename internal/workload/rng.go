@@ -1,0 +1,112 @@
+// Package workload provides deterministic synthetic-workload primitives
+// shared by the benchmark substrates: a fast splittable PRNG, calibrated
+// spin-work tokens, and generators for structured test data.
+//
+// Everything in this package is deterministic given a seed, so pipeline
+// outputs can be compared bit-for-bit across schedulers and worker counts.
+package workload
+
+// RNG is a splitmix64 pseudo-random number generator. It is tiny, fast,
+// passes BigCrush, and — unlike math/rand's global source — is safe to
+// embed one-per-goroutine without locking. The zero value is a valid
+// generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Seed resets the generator state.
+func (r *RNG) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn called with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative pseudo-random int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns an approximately standard-normal variate using the
+// sum of 8 uniforms (Irwin–Hall); good enough for synthetic data and much
+// cheaper than Ziggurat.
+func (r *RNG) NormFloat64() float64 {
+	s := 0.0
+	for i := 0; i < 8; i++ {
+		s += r.Float64()
+	}
+	// Irwin-Hall with n=8 has mean 4 and variance 8/12.
+	return (s - 4.0) / 0.8164965809277260
+}
+
+// Split returns a new RNG whose stream is decorrelated from r's.
+// Used to hand independent streams to parallel workers.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0xd1b54a32d192ed03}
+}
+
+// Bytes fills p with pseudo-random bytes.
+func (r *RNG) Bytes(p []byte) {
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		v := r.Uint64()
+		p[i+0] = byte(v)
+		p[i+1] = byte(v >> 8)
+		p[i+2] = byte(v >> 16)
+		p[i+3] = byte(v >> 24)
+		p[i+4] = byte(v >> 32)
+		p[i+5] = byte(v >> 40)
+		p[i+6] = byte(v >> 48)
+		p[i+7] = byte(v >> 56)
+	}
+	if i < len(p) {
+		v := r.Uint64()
+		for ; i < len(p); i++ {
+			p[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Hash64 mixes a single value through the splitmix64 finalizer. Useful for
+// deriving per-index seeds without constructing an RNG.
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Spin performs approximately units abstract work units of pure CPU work
+// without touching shared memory. One unit is one iteration of a
+// multiply-xor dependency chain, roughly 1–2ns on contemporary hardware.
+// The return value defeats dead-code elimination; callers may ignore it or
+// fold it into a checksum.
+func Spin(units int64) uint64 {
+	var x uint64 = 0x2545f4914f6cdd1d
+	for i := int64(0); i < units; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// spinSink prevents the calibration loop from being optimized away.
+var spinSink atomic.Uint64
+
+// calibratedUnitsPerMicro caches the measured spin rate.
+var calibratedUnitsPerMicro atomic.Int64
+
+// UnitsPerMicrosecond reports how many Spin units execute per microsecond
+// on this machine, measuring once and caching the result. Benchmarks use it
+// to express node weights in wall-clock terms comparable across hosts.
+func UnitsPerMicrosecond() int64 {
+	if v := calibratedUnitsPerMicro.Load(); v > 0 {
+		return v
+	}
+	const probe = 1 << 21
+	start := time.Now()
+	spinSink.Add(Spin(probe))
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	rate := int64(float64(probe) / (float64(elapsed.Nanoseconds()) / 1e3))
+	if rate < 1 {
+		rate = 1
+	}
+	calibratedUnitsPerMicro.CompareAndSwap(0, rate)
+	return calibratedUnitsPerMicro.Load()
+}
+
+// SpinMicros spins for approximately micros microseconds of CPU time.
+func SpinMicros(micros int64) uint64 {
+	return Spin(micros * UnitsPerMicrosecond())
+}

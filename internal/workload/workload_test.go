@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		n := 1 + r.Intn(50)
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	r := NewRNG(3)
+	s := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == s.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream matched parent %d/100 draws", same)
+	}
+}
+
+func TestBytesFillsEveryLength(t *testing.T) {
+	r := NewRNG(5)
+	for n := 0; n <= 33; n++ {
+		p := make([]byte, n)
+		r.Bytes(p)
+		if n >= 16 {
+			allZero := true
+			for _, b := range p {
+				if b != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				t.Fatalf("Bytes left a %d-byte buffer all zero", n)
+			}
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRNG(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash64Mixes(t *testing.T) {
+	if Hash64(1) == Hash64(2) {
+		t.Fatal("Hash64 collision on adjacent inputs")
+	}
+	if Hash64(0) == 0 {
+		t.Fatal("Hash64(0) should not be 0")
+	}
+}
+
+func TestSpinReturnsWork(t *testing.T) {
+	if Spin(0) == 0 {
+		t.Fatal("Spin(0) should return the seed constant")
+	}
+	if Spin(10) == Spin(20) {
+		t.Fatal("different unit counts should give different chains")
+	}
+}
+
+func TestUnitsPerMicrosecondPositive(t *testing.T) {
+	r := UnitsPerMicrosecond()
+	if r <= 0 {
+		t.Fatalf("rate = %d, want > 0", r)
+	}
+	if r2 := UnitsPerMicrosecond(); r2 != r {
+		t.Fatalf("calibration not cached: %d then %d", r, r2)
+	}
+}
+
+func TestTextStreamProperties(t *testing.T) {
+	data := TextStream(1, 64<<10, 4096, 0.3)
+	if len(data) != 64<<10 {
+		t.Fatalf("len = %d, want %d", len(data), 64<<10)
+	}
+	again := TextStream(1, 64<<10, 4096, 0.3)
+	if string(again) != string(data) {
+		t.Fatal("TextStream not deterministic")
+	}
+	other := TextStream(2, 64<<10, 4096, 0.3)
+	if string(other) == string(data) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestVectorDeterministic(t *testing.T) {
+	a := Vector(12, 48)
+	b := Vector(12, 48)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Vector not deterministic")
+		}
+	}
+	if len(a) != 48 {
+		t.Fatalf("dim = %d", len(a))
+	}
+}
+
+func BenchmarkSpin1us(b *testing.B) {
+	units := UnitsPerMicrosecond()
+	for i := 0; i < b.N; i++ {
+		spinSink.Add(Spin(units))
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += r.Uint64()
+	}
+	spinSink.Add(acc)
+}

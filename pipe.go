@@ -1,0 +1,70 @@
+package piper
+
+// Pipe runs a pipeline over the elements produced by next. next executes
+// serially, in order, as part of each iteration's stage 0 and returns the
+// element for the iteration plus an ok flag; the pipeline ends when ok is
+// false. body receives the iteration handle and the element, already
+// copied into iteration-local state, which avoids the shared-variable
+// pitfall of hand-written pipe_while conditions.
+func Pipe[T any](eng *Engine, next func() (T, bool), body func(it *Iter, v T)) {
+	PipeThrottled(eng, 0, next, body)
+}
+
+// PipeThrottled is Pipe with an explicit per-pipeline throttling limit K
+// (0 means the engine default).
+func PipeThrottled[T any](eng *Engine, k int, next func() (T, bool), body func(it *Iter, v T)) {
+	var (
+		cur T
+		ok  bool
+	)
+	cond := func() bool {
+		cur, ok = next()
+		return ok
+	}
+	eng.RunPipeline(k, cond, func(it *Iter) {
+		v := cur // stage 0: capture before the next iteration's cond runs
+		body(it, v)
+	})
+}
+
+// Profile runs one pipeline with work/span instrumentation and returns
+// the measured T1, T∞ and their ratio — the scalability-analyzer
+// ("Cilkview") measurement the paper uses to explain dedup's limited
+// parallelism. k is the throttling limit (0 for the engine default).
+func Profile(eng *Engine, k int, cond func() bool, body func(*Iter)) PipelineReport {
+	return eng.ProfilePipeline(k, cond, body)
+}
+
+// ProfilePipe is Profile over a generic element source, like Pipe.
+func ProfilePipe[T any](eng *Engine, k int, next func() (T, bool), body func(it *Iter, v T)) PipelineReport {
+	var (
+		cur T
+		ok  bool
+	)
+	cond := func() bool {
+		cur, ok = next()
+		return ok
+	}
+	return eng.ProfilePipeline(k, cond, func(it *Iter) {
+		v := cur
+		body(it, v)
+	})
+}
+
+// Each applies body to every element of items as pipeline iterations.
+// Stage 0 is just the index bump, so bodies that immediately Continue(1)
+// behave like an ordered parallel-for with streaming (serial) tail stages
+// available via Wait.
+func Each[T any](eng *Engine, items []T, body func(it *Iter, v T)) {
+	i := 0
+	next := func() (T, bool) {
+		if i >= len(items) {
+			var zero T
+			return zero, false
+		}
+		v := items[i]
+		i++
+		return v, true
+	}
+	Pipe(eng, next, body)
+}

@@ -1,0 +1,102 @@
+// Package piper provides on-the-fly pipeline parallelism for Go: a
+// faithful reproduction of the Cilk-P linguistics and the PIPER
+// work-stealing scheduler from I-T. A. Lee, C. E. Leiserson, T. B.
+// Schardl, J. Sukha and Z. Zhang, "On-the-Fly Pipeline Parallelism",
+// SPAA 2013.
+//
+// A linear pipeline is written as a pipe_while loop: the condition and the
+// body's prefix up to the first Wait or Continue form the serial stage 0,
+// executed in iteration order; Wait(j) ("pipe_wait") begins stage j after
+// the same stage of the previous iteration has completed, creating a cross
+// edge; Continue(j) ("pipe_continue") begins stage j immediately. Stage
+// numbers must strictly increase within an iteration, and skipped stages
+// become null nodes exactly as in the paper. Stages may contain fork-join
+// parallelism (Go/Sync/For) and nested pipelines.
+//
+// The scheduler automatically throttles each pipeline to at most K live
+// iterations (default 4·P), precluding runaway pipelines, and implements
+// the paper's lazy enabling, dependency folding, and tail-swap
+// optimizations, each individually switchable for ablation studies.
+//
+// A minimal SPS (serial-parallel-serial) pipeline:
+//
+//	eng := piper.NewEngine(piper.Workers(8))
+//	defer eng.Close()
+//	i := 0
+//	eng.PipeWhile(func() bool { return i < len(inputs) }, func(it *piper.Iter) {
+//		in := inputs[i] // stage 0: serial input
+//		i++
+//		it.Continue(1) // stage 1: parallel
+//		out := process(in)
+//		it.Wait(2) // stage 2: serial, in order
+//		emit(out)
+//	})
+package piper
+
+import (
+	"piper/internal/core"
+)
+
+// Engine is a PIPER scheduler instance: P workers with work-stealing
+// deques executing pipeline programs.
+type Engine = core.Engine
+
+// Iter is the per-iteration handle passed to pipeline bodies.
+type Iter = core.Iter
+
+// Stats aggregates scheduler event counters (steals, suspensions,
+// lazy-enabling and dependency-folding activity, tail swaps, ...).
+type Stats = core.Stats
+
+// PipelineReport summarizes a completed pipeline run.
+type PipelineReport = core.PipelineReport
+
+// Option configures NewEngine.
+type Option func(*core.Options)
+
+// Workers sets the number of scheduling workers P
+// (default runtime.GOMAXPROCS(0)).
+func Workers(p int) Option {
+	return func(o *core.Options) { o.Workers = p }
+}
+
+// Throttle sets the default throttling limit K for pipelines run on the
+// engine (default 4·P). The paper uses 10P for ferret and 4P elsewhere.
+func Throttle(k int) Option {
+	return func(o *core.Options) { o.Throttle = k }
+}
+
+// DependencyFolding toggles the cached-predecessor-stage optimization
+// (default on). Disable only for ablation measurements.
+func DependencyFolding(enabled bool) Option {
+	return func(o *core.Options) { o.DependencyFolding = enabled }
+}
+
+// LazyEnabling toggles lazy enabling (default on). When disabled, every
+// stage advance eagerly checks and wakes the right neighbour.
+func LazyEnabling(enabled bool) Option {
+	return func(o *core.Options) { o.EagerEnabling = !enabled }
+}
+
+// TailSwap toggles the tail-swap rule at iteration completion
+// (default on).
+func TailSwap(enabled bool) Option {
+	return func(o *core.Options) { o.TailSwap = enabled }
+}
+
+// NewEngine starts a scheduler with the given options.
+func NewEngine(opts ...Option) *Engine {
+	o := core.DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.NewEngine(o)
+}
+
+// Run executes one pipeline on a transient engine, for programs that do
+// not need to amortize engine start-up.
+func Run(cond func() bool, body func(*Iter), opts ...Option) {
+	eng := NewEngine(opts...)
+	defer eng.Close()
+	eng.PipeWhile(cond, body)
+}

@@ -1,0 +1,39 @@
+package piper
+
+import "piper/internal/core"
+
+// RunSerial executes a pipeline body with full pipe_while semantics on
+// the calling goroutine, with no scheduler: the TS baseline of the
+// paper's speedup tables, and a debugging mode (stage-discipline
+// violations panic exactly as in parallel runs). Fork-join constructs and
+// nested pipelines inside the body are serially elided.
+func RunSerial(cond func() bool, body func(*Iter)) PipelineReport {
+	return core.RunSerial(cond, body)
+}
+
+// SerialPipe is RunSerial over a generic element source, like Pipe.
+func SerialPipe[T any](next func() (T, bool), body func(it *Iter, v T)) PipelineReport {
+	var (
+		cur T
+		ok  bool
+	)
+	cond := func() bool {
+		cur, ok = next()
+		return ok
+	}
+	return core.RunSerial(cond, func(it *Iter) {
+		v := cur
+		body(it, v)
+	})
+}
+
+// RunAdaptive executes a pipeline whose throttling window adapts within
+// [kMin, kMax]: it widens (doubling) whenever the pipeline is
+// window-bound while workers sit idle and shrinks when the window goes
+// unused. This explores the throughput/space trade-off of the paper's
+// Section 11: uniform pipelines behave as with K = kMin, while the
+// Figure 10 pathology gains the speedup a fixed Θ(P) window provably
+// cannot, at a space cost reported in MaxLiveIterations.
+func RunAdaptive(eng *Engine, kMin, kMax int, cond func() bool, body func(*Iter)) PipelineReport {
+	return eng.RunPipelineAdaptive(kMin, kMax, cond, body)
+}
