@@ -28,8 +28,18 @@ func main() {
 		size       = flag.String("size", "small", "small|native")
 		plist      = flag.String("plist", "", "comma-separated worker counts (default 1,2,...,NumCPU)")
 		pmax       = flag.Int("pmax", runtime.NumCPU(), "worker count for single-P experiments")
+		jsonOut    = flag.String("json", "", "write the machine-readable benchmark suite to this file (e.g. BENCH_piper.json) and exit")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := bench.WriteJSONFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "piperbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return
+	}
 
 	sz := bench.Small()
 	if *size == "native" {

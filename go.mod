@@ -1,0 +1,3 @@
+module piper
+
+go 1.24

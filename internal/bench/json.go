@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"piper"
+	"piper/internal/dedup"
+	"piper/internal/pipefib"
+	"piper/internal/workload"
+)
+
+// JSONBenchmark is one machine-readable benchmark record, shaped so a
+// driver can track the perf trajectory across PRs (BENCH_piper.json).
+type JSONBenchmark struct {
+	Name string `json:"name"`
+	// N is the number of benchmark iterations testing.Benchmark settled on.
+	N int `json:"n"`
+	// NsPerOp is wall-clock nanoseconds per operation (one operation =
+	// one full pipeline run, or one iteration for *PerIter benchmarks).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp come from the runtime allocation
+	// counters.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Steals, Parks, Wakes, PoolHits and PoolMisses are scheduler counter
+	// deltas per operation, from Engine.Stats.
+	Steals     float64 `json:"steals_per_op"`
+	Parks      float64 `json:"parks_per_op"`
+	Wakes      float64 `json:"wakes_per_op"`
+	PoolHits   float64 `json:"pool_hits_per_op"`
+	PoolMisses float64 `json:"pool_misses_per_op"`
+}
+
+// JSONReport is the top-level BENCH_piper.json document.
+type JSONReport struct {
+	GoMaxProcs int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	GoVersion  string          `json:"go_version"`
+	Benchmarks []JSONBenchmark `json:"benchmarks"`
+}
+
+// statDelta captures counter deltas across a benchmark run.
+func statDelta(before, after piper.Stats, n int) (steals, parks, wakes, hits, misses float64) {
+	d := float64(n)
+	return float64(after.Steals-before.Steals) / d,
+		float64(after.Parks-before.Parks) / d,
+		float64(after.Wakes-before.Wakes) / d,
+		float64(after.FramePoolHits-before.FramePoolHits) / d,
+		float64(after.FramePoolMisses-before.FramePoolMisses) / d
+}
+
+// runJSONBench runs one benchmark body against a dedicated engine and
+// collects the per-op record. perIter divides the measured costs by the
+// number of pipeline iterations one op executes (0 means per-op
+// reporting).
+func runJSONBench(name string, perIter int, mkEngine func() *piper.Engine, body func(e *piper.Engine)) JSONBenchmark {
+	e := mkEngine()
+	defer e.Close()
+	body(e) // warm pools and workers outside the measurement
+	before := e.Stats()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			body(e)
+		}
+	})
+	after := e.Stats()
+	div := 1.0
+	if perIter > 0 {
+		div = float64(perIter)
+	}
+	steals, parks, wakes, hits, misses := statDelta(before, after, r.N)
+	return JSONBenchmark{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.NsPerOp()) / div,
+		AllocsPerOp: float64(r.AllocsPerOp()) / div,
+		BytesPerOp:  float64(r.AllocedBytesPerOp()) / div,
+		Steals:      steals / div,
+		Parks:       parks / div,
+		Wakes:       wakes / div,
+		PoolHits:    hits / div,
+		PoolMisses:  misses / div,
+	}
+}
+
+// JSONSuite runs the machine-readable benchmark suite: scheduler
+// microbenchmarks (per-iteration cost of the frame lifecycle, pooled and
+// unpooled) plus two small end-to-end workloads, and writes the report to
+// w as JSON.
+func JSONSuite(w io.Writer) error {
+	const spsIters = 5000
+	sps := func(e *piper.Engine) {
+		i := 0
+		e.PipeWhile(func() bool { return i < spsIters }, func(it *piper.Iter) {
+			i++
+			it.Continue(1)
+			it.Wait(2)
+		})
+	}
+	empty := func(e *piper.Engine) {
+		i := 0
+		e.PipeWhile(func() bool { return i < spsIters }, func(it *piper.Iter) { i++ })
+	}
+	fib := func(e *piper.Engine) { pipefib.Fine(e, 8, 1500) }
+	data := workload.TextStream(1234, 1<<20, 4096, 0.35)
+	dd := func(e *piper.Engine) { _ = dedup.CompressPiper(e, 8, data, io.Discard) }
+
+	pooled := func(p int) func() *piper.Engine {
+		return func() *piper.Engine { return piper.NewEngine(piper.Workers(p)) }
+	}
+	fresh := func(p int) func() *piper.Engine {
+		return func() *piper.Engine { return piper.NewEngine(piper.Workers(p), piper.PoolFrames(false)) }
+	}
+
+	rep := JSONReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Benchmarks: []JSONBenchmark{
+			runJSONBench("SerialOverheadPerIter/P1", spsIters, pooled(1), empty),
+			runJSONBench("SerialOverheadPerIter/P1/PoolFrames=false", spsIters, fresh(1), empty),
+			runJSONBench("SPSPerIter/P2", spsIters, pooled(2), sps),
+			runJSONBench("SPSPerIter/P2/PoolFrames=false", spsIters, fresh(2), sps),
+			runJSONBench("PipeFibFine/P2", 0, pooled(2), fib),
+			runJSONBench("Dedup1MiB/P2", 0, pooled(2), dd),
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteJSONFile runs JSONSuite into path (conventionally
+// BENCH_piper.json).
+func WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := JSONSuite(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

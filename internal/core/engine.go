@@ -4,7 +4,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"piper/internal/deque"
 	"piper/internal/workload"
@@ -28,6 +27,12 @@ type Options struct {
 	// TailSwap enables the tail-swap rule at iteration completion
 	// (on by default via DefaultOptions).
 	TailSwap bool
+	// PoolFrames enables recycling of frame structs, their coroutine
+	// channels and goroutines, and pipeline control state through
+	// sync.Pools (on by default via DefaultOptions; see pool.go). Disable
+	// only for ablation: every frame is then allocated fresh, as in the
+	// unoptimized runtime.
+	PoolFrames bool
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -38,6 +43,7 @@ func DefaultOptions() Options {
 		DependencyFolding: true,
 		EagerEnabling:     false,
 		TailSwap:          true,
+		PoolFrames:        true,
 	}
 }
 
@@ -50,19 +56,41 @@ func (o *Options) normalize() {
 	}
 }
 
+// injectRingCap is the per-worker injection ring capacity. Root-frame
+// injection is one event per top-level pipeline, so overflow — which
+// falls back to a mutex-guarded list — is effectively unreachable outside
+// adversarial burst tests.
+const injectRingCap = 64
+
 // Engine is a PIPER work-stealing scheduler instance: P workers, each with
-// a work-stealing deque, executing pipeline programs submitted through
-// PipeWhile.
+// a work-stealing deque and an injection ring, executing pipeline programs
+// submitted through PipeWhile.
 type Engine struct {
 	opts    Options
 	workers []*worker
 	stats   statCounters
+	pools   framePools
 
-	globalMu sync.Mutex
-	global   []*frame
+	// Root-frame injection is sharded: each worker owns a lock-free MPMC
+	// ring (see deque.Inject) that producers fill round-robin; rings that
+	// are full spill into the mutex-guarded overflow list. Any worker may
+	// drain any ring, so injected work is never stranded behind a busy
+	// shard owner.
+	injectRR   atomic.Uint32
+	overflowMu sync.Mutex
+	overflow   []*frame
+	overflowN  atomic.Int32
 
-	idle     atomic.Int64
-	wake     chan struct{}
+	// Parking is event-driven: a worker that finds no work registers in
+	// the idle set and blocks on its private park channel; every signal
+	// claims exactly one idle worker and hands it a wake token, so a burst
+	// of N injections wakes min(N, idle) distinct workers and no wakeup is
+	// ever lost (the old single-slot wake channel could drop them, only
+	// bounding the damage by polling).
+	idleMu      sync.Mutex
+	idleWorkers []*worker
+	idle        atomic.Int64
+
 	closed   atomic.Bool
 	closedCh chan struct{}
 	wg       sync.WaitGroup
@@ -76,16 +104,17 @@ func NewEngine(opts Options) *Engine {
 	opts.normalize()
 	e := &Engine{
 		opts:     opts,
-		wake:     make(chan struct{}, 1),
 		closedCh: make(chan struct{}),
 	}
 	e.workers = make([]*worker, opts.Workers)
 	for i := range e.workers {
 		e.workers[i] = &worker{
-			eng:   e,
-			id:    i,
-			deque: deque.New[frame](64),
-			rng:   workload.NewRNG(uint64(i)*0x9e3779b9 + 1),
+			eng:    e,
+			id:     i,
+			deque:  deque.New[frame](64),
+			inbox:  deque.NewInject[frame](injectRingCap),
+			parkCh: make(chan struct{}, 1),
+			rng:    workload.NewRNG(uint64(i)*0x9e3779b9 + 1),
 		}
 	}
 	for _, w := range e.workers {
@@ -102,10 +131,16 @@ func (e *Engine) Options() Options { return e.opts }
 func (e *Engine) Workers() int { return e.opts.Workers }
 
 // Stats returns a snapshot of the scheduler counters.
-func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+func (e *Engine) Stats() Stats {
+	s := e.stats.snapshot()
+	s.FramePoolHits = e.pools.hits.Load()
+	s.FramePoolMisses = e.pools.misses.Load()
+	return s
+}
 
 // Close shuts the engine down. It must not be called while pipelines are
-// still running.
+// still running. Closing also releases every pooled coroutine runner
+// parked for reuse.
 func (e *Engine) Close() {
 	if e.closed.CompareAndSwap(false, true) {
 		close(e.closedCh)
@@ -202,16 +237,19 @@ func (e *Engine) launch(pl *pipeline) PipelineReport {
 	pl.done = make(chan struct{})
 	e.inject(pl.control)
 	<-pl.done
-	if pb := pl.panicVal.Load(); pb != nil {
-		panic(pb.v)
-	}
-	return PipelineReport{
+	rep := PipelineReport{
 		Iterations:        pl.nextIndex,
 		MaxLiveIterations: pl.maxLive.Load(),
 		FinalThrottle:     pl.K.Load(),
 		WorkNs:            pl.workNs.Load(),
 		SpanNs:            pl.spanNs.Load(),
 	}
+	pb := pl.panicVal.Load()
+	e.releasePipeline(pl)
+	if pb != nil {
+		panic(pb.v)
+	}
+	return rep
 }
 
 // PipeWhile starts a pipeline nested inside the current iteration; the
@@ -241,7 +279,9 @@ func (it *Iter) PipeWhileThrottled(k int, cond func() bool, body func(*Iter)) {
 	pl.parent = sc
 	f.w.pushWork(pl.control)
 	f.syncScope(sc)
-	if pb := pl.panicVal.Load(); pb != nil {
+	pb := pl.panicVal.Load()
+	f.eng.releasePipeline(pl)
+	if pb != nil {
 		panic(pb.v)
 	}
 }
@@ -250,44 +290,117 @@ func (e *Engine) newPipeline(k int, cond func() bool, body func(*Iter), depth in
 	if k <= 0 {
 		k = e.opts.Throttle
 	}
-	pl := &pipeline{eng: e, cond: cond, body: body, depth: depth}
+	// The control frame is a plain state-machine frame: workers execute
+	// pl.step directly, with no coroutine behind it. It recycles together
+	// with its pipeline (see pool.go).
+	pl := e.acquirePipeline()
+	pl.cond, pl.body, pl.depth = cond, body, depth
 	pl.K.Store(int64(k))
 	pl.kMin, pl.kMax = int64(k), int64(k)
-	// The control frame is a plain state-machine frame: workers execute
-	// pl.step directly, with no coroutine behind it.
-	cf := &frame{kind: kindControl, eng: e, pl: pl}
-	pl.control = cf
 	e.stats.pipelines.Add(1)
 	return pl
 }
 
-// inject queues a root frame for any worker to pick up.
+// inject queues a root frame for any worker to pick up: round-robin over
+// the per-worker injection rings, spilling to the overflow list only when
+// every ring is full.
 func (e *Engine) inject(f *frame) {
-	e.globalMu.Lock()
-	e.global = append(e.global, f)
-	e.globalMu.Unlock()
+	n := uint32(len(e.workers))
+	start := e.injectRR.Add(1)
+	for i := uint32(0); i < n; i++ {
+		if e.workers[(start+i)%n].inbox.Offer(f) {
+			e.stats.injects.Add(1)
+			e.signal()
+			return
+		}
+	}
+	e.overflowMu.Lock()
+	e.overflow = append(e.overflow, f)
+	e.overflowN.Add(1)
+	e.overflowMu.Unlock()
+	e.stats.injects.Add(1)
 	e.signal()
 }
 
-func (e *Engine) popGlobal() *frame {
-	e.globalMu.Lock()
-	defer e.globalMu.Unlock()
-	if len(e.global) == 0 {
+// popOverflow drains one frame from the injection overflow list. The
+// atomic emptiness hint keeps the mutex off the common path.
+func (e *Engine) popOverflow() *frame {
+	if e.overflowN.Load() == 0 {
 		return nil
 	}
-	f := e.global[0]
-	copy(e.global, e.global[1:])
-	e.global = e.global[:len(e.global)-1]
+	e.overflowMu.Lock()
+	defer e.overflowMu.Unlock()
+	if len(e.overflow) == 0 {
+		return nil
+	}
+	f := e.overflow[0]
+	copy(e.overflow, e.overflow[1:])
+	e.overflow[len(e.overflow)-1] = nil
+	e.overflow = e.overflow[:len(e.overflow)-1]
+	e.overflowN.Add(-1)
 	return f
 }
 
-// signal wakes one parked worker, if any.
+// signal wakes exactly one parked worker, if any. Pairs with the
+// register-then-rescan protocol in findWork: the caller has already made
+// its work visible (ring/deque/overflow publication happens-before the
+// idle load), so either this load observes the parked worker, or the
+// worker's rescan observes the work.
 func (e *Engine) signal() {
-	if e.idle.Load() > 0 {
-		select {
-		case e.wake <- struct{}{}:
-		default:
+	if e.idle.Load() == 0 {
+		return
+	}
+	if w := e.claimIdle(); w != nil {
+		e.stats.wakes.Add(1)
+		w.parkCh <- struct{}{}
+	}
+}
+
+// claimIdle pops one worker from the idle set. The caller must send the
+// claimed worker its wake token.
+func (e *Engine) claimIdle() *worker {
+	e.idleMu.Lock()
+	defer e.idleMu.Unlock()
+	n := len(e.idleWorkers)
+	if n == 0 {
+		return nil
+	}
+	w := e.idleWorkers[n-1]
+	e.idleWorkers[n-1] = nil
+	e.idleWorkers = e.idleWorkers[:n-1]
+	e.idle.Add(-1)
+	return w
+}
+
+// registerIdle publishes w as parked. Must precede the caller's final
+// work rescan.
+func (e *Engine) registerIdle(w *worker) {
+	e.idleMu.Lock()
+	e.idleWorkers = append(e.idleWorkers, w)
+	e.idle.Add(1)
+	e.idleMu.Unlock()
+}
+
+// cancelIdle withdraws w after its pre-park rescan found work. If a waker
+// already claimed w, its wake token is in flight; absorb it so the next
+// park does not wake spuriously.
+func (e *Engine) cancelIdle(w *worker) {
+	e.idleMu.Lock()
+	found := false
+	for i, x := range e.idleWorkers {
+		if x == w {
+			last := len(e.idleWorkers) - 1
+			e.idleWorkers[i] = e.idleWorkers[last]
+			e.idleWorkers[last] = nil
+			e.idleWorkers = e.idleWorkers[:last]
+			e.idle.Add(-1)
+			found = true
+			break
 		}
+	}
+	e.idleMu.Unlock()
+	if !found {
+		<-w.parkCh
 	}
 }
 
@@ -312,6 +425,8 @@ type worker struct {
 	eng      *Engine
 	id       int
 	deque    *deque.Deque[frame]
+	inbox    *deque.Inject[frame]
+	parkCh   chan struct{}
 	assigned atomic.Pointer[frame]
 	rng      *workload.RNG
 
@@ -343,21 +458,27 @@ func (w *worker) pushWork(f *frame) {
 func (w *worker) execute(f *frame) {
 	for f != nil {
 		traceStart := int64(0)
-		if w.eng.tracing.Load() {
-			traceStart = nowNs()
+		tracing := w.eng.tracing.Load()
+		var traceKind frameKind
+		var traceIndex int64
+		if tracing {
+			// Snapshot before driving: after a suspend the frame may
+			// belong to a waker (and, pooled, even be recycled), so it
+			// must not be dereferenced afterwards.
+			traceStart, traceKind, traceIndex = nowNs(), f.kind, f.index
 		}
 		switch f.kind {
 		case kindClosure:
 			w.eng.stats.closureTasks.Add(1)
 			runClosureTask(f, w)
-			w.traceSegment(f, traceStart)
+			w.traceSegment(tracing, traceKind, traceIndex, traceStart)
 			f = w.afterClosure(f)
 
 		case kindControl:
 			w.assigned.Store(f)
 			msg := f.pl.step(f, w)
 			w.assigned.Store(nil)
-			w.traceSegment(f, traceStart)
+			w.traceSegment(tracing, traceKind, traceIndex, traceStart)
 			switch msg.kind {
 			case ySpawn:
 				// The control frame is the continuation: push it for
@@ -377,7 +498,7 @@ func (w *worker) execute(f *frame) {
 			w.assigned.Store(f)
 			msg := f.driveSegment(w)
 			w.assigned.Store(nil)
-			w.traceSegment(f, traceStart)
+			w.traceSegment(tracing, traceKind, traceIndex, traceStart)
 			switch msg.kind {
 			case ySuspend:
 				f = w.afterSuspend(f)
@@ -413,6 +534,7 @@ func (w *worker) afterDone(f *frame) *frame {
 		}
 		ctrl := f.pl.onIterReturn()
 		f.next.Store(nil)
+		f.unref() // drop the scheduler's reference; f may now recycle
 		switch {
 		case right != nil && ctrl != nil:
 			if w.eng.opts.TailSwap {
@@ -447,7 +569,9 @@ func (w *worker) afterDone(f *frame) *frame {
 
 // afterClosure retires a fork-join task.
 func (w *worker) afterClosure(f *frame) *frame {
-	if owner := scopeUnitDone(f.scope); owner != nil {
+	sc := f.scope
+	w.eng.releaseClosureFrame(f)
+	if owner := scopeUnitDone(sc); owner != nil {
 		return owner
 	}
 	return w.deque.Pop()
@@ -455,7 +579,8 @@ func (w *worker) afterClosure(f *frame) *frame {
 
 // stealFrom raids one victim: first the lazy-enabling check-right on the
 // victim's assigned iteration (resuming implicitly enabled work "on the
-// victim's deque"), then the deque proper.
+// victim's deque"), then the deque proper, then the victim's injection
+// ring so sharded roots are never stranded behind a busy shard owner.
 func (w *worker) stealFrom(v *worker) *frame {
 	if a := v.assigned.Load(); a != nil && a.kind == kindIter {
 		if nxt := w.eng.tryWakeRight(a); nxt != nil {
@@ -467,47 +592,69 @@ func (w *worker) stealFrom(v *worker) *frame {
 		w.eng.stats.steals.Add(1)
 		return f
 	}
+	if f := v.inbox.Poll(); f != nil {
+		return f
+	}
 	return nil
 }
 
-// findWork implements the thief loop: local deque, global queue, random
-// victims, then park with exponential backoff.
+// pollWork scans every work source once: the local deque, the worker's
+// own injection ring, the overflow list, then a steal sweep visiting
+// every victim exactly once from a random starting offset. Full coverage
+// (rather than the classic random probing) is what lets parking be
+// event-driven: the pre-park rescan in findWork must be deterministic,
+// because no polling timer will paper over a missed victim.
+func (w *worker) pollWork() *frame {
+	e := w.eng
+	if f := w.deque.Pop(); f != nil {
+		return f
+	}
+	if f := w.inbox.Poll(); f != nil {
+		return f
+	}
+	if f := e.popOverflow(); f != nil {
+		return f
+	}
+	if n := len(e.workers); n > 1 {
+		start := int(w.rng.Intn(n))
+		for round := 0; round < n; round++ {
+			v := e.workers[(start+round)%n]
+			if v == w {
+				continue
+			}
+			if f := w.stealFrom(v); f != nil {
+				return f
+			}
+			e.stats.failedSteals.Add(1)
+		}
+	}
+	return nil
+}
+
+// findWork implements the thief loop: scan all work sources, then park
+// until a signal delivers a wake token. Parking is precise — a worker
+// registers in the idle set and re-scans before blocking, pairing with
+// signal's publish-work-then-claim order, so no wakeup is lost and no
+// polling timer is needed.
 func (w *worker) findWork() *frame {
 	e := w.eng
-	n := len(e.workers)
-	sleep := 20 * time.Microsecond
 	for {
-		if f := w.deque.Pop(); f != nil {
+		if f := w.pollWork(); f != nil {
 			return f
-		}
-		if f := e.popGlobal(); f != nil {
-			return f
-		}
-		if n > 1 {
-			for round := 0; round < 2*n; round++ {
-				v := e.workers[w.rng.Intn(n)]
-				if v == w {
-					continue
-				}
-				if f := w.stealFrom(v); f != nil {
-					return f
-				}
-				e.stats.failedSteals.Add(1)
-			}
 		}
 		if e.closed.Load() {
 			return nil
 		}
-		// Park briefly; polling bounds the cost of any lost wakeup.
-		e.idle.Add(1)
-		select {
-		case <-e.wake:
-		case <-e.closedCh:
-		case <-time.After(sleep):
-			if sleep < 500*time.Microsecond {
-				sleep *= 2
-			}
+		e.registerIdle(w)
+		if f := w.pollWork(); f != nil {
+			e.cancelIdle(w)
+			return f
 		}
-		e.idle.Add(-1)
+		e.stats.parks.Add(1)
+		select {
+		case <-w.parkCh:
+		case <-e.closedCh:
+			return nil
+		}
 	}
 }

@@ -4,13 +4,19 @@
 //
 // The scheduler executes "frames": control frames (one per pipe_while
 // loop), iteration frames (one per loop iteration), and closure frames
-// (fork-join tasks). Control and iteration frames own a coroutine — a
-// goroutine that runs user code and yields to the scheduler over a pair of
-// unbuffered channels at suspension points. A worker "executes" a frame by
-// resuming its coroutine and blocking until it yields; because the worker
+// (fork-join tasks). Iteration frames own a coroutine — a goroutine that
+// runs user code and yields to the scheduler over a pair of unbuffered
+// channels at suspension points. A worker "executes" a frame by resuming
+// its coroutine and blocking until it yields; because the worker
 // goroutine is blocked on a channel while the frame runs, exactly the
 // runnable segments occupy CPUs and the scheduler retains PIPER's
 // bind-to-element structure, throttling, and deque discipline.
+//
+// With frame pooling enabled (the default; see pool.go) a retired
+// iteration frame hands its goroutine and channel pair back for reuse:
+// the runner parks on its resume channel after the final yield and serves
+// the frame's next incarnation, so the steady state of a throttled
+// pipeline allocates nothing per iteration.
 package core
 
 import (
@@ -56,16 +62,26 @@ type yieldMsg struct {
 const stageDone = math.MaxInt64
 
 // frame is the unit of scheduling. One struct type covers all three kinds
-// so the work-stealing deque stays monomorphic.
+// so the work-stealing deque stays monomorphic. kind is immutable for the
+// frame's whole pooled lifetime (each pool serves one kind), so stale
+// racy readers — a thief inspecting a victim's assigned pointer — may
+// read it and the atomic fields, but nothing else.
 type frame struct {
 	kind frameKind
 	eng  *Engine
 
-	// Coroutine machinery (control and iteration frames).
+	// Coroutine machinery (iteration frames). With pooling the channels
+	// and the runner goroutine outlive individual incarnations.
 	resume  chan struct{}
 	yield   chan yieldMsg
 	started bool
-	body    func(f *frame)
+	// reusable is immutable: true iff the frame recycles through a pool,
+	// which also makes its runner loop instead of exiting (see corun).
+	reusable bool
+	// refs counts reasons the frame cannot yet be recycled: the
+	// scheduler's ownership plus the successor chain's prev reference
+	// (see pool.go for the full discipline).
+	refs atomic.Int32
 
 	// w is the worker currently driving this frame's segment. It is set by
 	// driveSegment before the coroutine resumes and is stable for the
@@ -75,6 +91,7 @@ type frame struct {
 
 	// Iteration state.
 	pl        *pipeline
+	it        Iter // the handle passed to the body; self-referential, reused
 	index     int64
 	stage     atomic.Int64 // all nodes with stage < this value are complete
 	status    atomic.Int32
@@ -118,16 +135,6 @@ type frame struct {
 	panicked any
 }
 
-func newCoroutineFrame(eng *Engine, kind frameKind, body func(*frame)) *frame {
-	return &frame{
-		kind:   kind,
-		eng:    eng,
-		resume: make(chan struct{}),
-		yield:  make(chan yieldMsg),
-		body:   body,
-	}
-}
-
 // driveSegment resumes the frame's coroutine and blocks until it yields.
 // It may be called from a worker's goroutine or, for an iteration's
 // stage-0 segment, from the control frame's coroutine.
@@ -142,9 +149,30 @@ func (f *frame) driveSegment(w *worker) yieldMsg {
 	return <-f.yield
 }
 
-// corun is the body of the frame's coroutine goroutine.
+// corun is the body of the frame's runner goroutine. A reusable runner
+// loops: after yielding yDone it parks on the resume channel and serves
+// the frame's next incarnation, whose reset state it observes through the
+// channel handshake. The engine's close channel releases runners whose
+// frame sits idle in the pool (or was dropped from it by the GC) when the
+// engine shuts down.
 func (f *frame) corun() {
-	<-f.resume
+	for {
+		select {
+		case <-f.resume:
+		case <-f.eng.closedCh:
+			return
+		}
+		f.runOnce()
+		f.yield <- yieldMsg{kind: yDone}
+		if !f.reusable {
+			return
+		}
+	}
+}
+
+// runOnce executes one incarnation of the iteration body, converting a
+// user panic into pipeline panic state.
+func (f *frame) runOnce() {
 	f.instrBeginIteration()
 	defer func() {
 		if r := recover(); r != nil {
@@ -153,12 +181,16 @@ func (f *frame) corun() {
 				f.pl.recordPanic(r)
 			}
 			f.finishIter()
-			f.yield <- yieldMsg{kind: yDone}
 		}
 	}()
-	f.body(f)
+	f.pl.body(&f.it)
+	// Implicit cilk_sync: every Cilk function syncs before returning, so
+	// children spawned with Go but never Synced join here.
+	if sc := f.curScope; sc != nil {
+		f.curScope = nil
+		f.syncScope(sc)
+	}
 	f.finishIter()
-	f.yield <- yieldMsg{kind: yDone}
 }
 
 // finishIter publishes iteration completion: every cross edge out of this
@@ -167,7 +199,7 @@ func (f *frame) finishIter() {
 	if f.kind == kindIter {
 		f.instrFinishIteration()
 		f.stage.Store(stageDone)
-		f.prev = nil
+		f.dropPrev()
 		f.eng.stats.crossChecks.Add(f.nCrossChecks)
 		f.eng.stats.foldHits.Add(f.nFoldHits)
 	}
@@ -213,10 +245,11 @@ func (f *frame) crossSatisfied(j int64) bool {
 	c := p.stage.Load()
 	f.foldCache = c
 	if c == stageDone {
-		// Release the chain for the garbage collector — except under
-		// instrumentation, which still needs the predecessor's crit log.
+		// Release the chain (for the garbage collector, and for the frame
+		// pool's recycling refcount) — except under instrumentation,
+		// which still needs the predecessor's crit log.
 		if !f.instrOn {
-			f.prev = nil
+			f.dropPrev()
 		}
 		return true
 	}

@@ -46,6 +46,11 @@ type critLog struct {
 	n   atomic.Int32
 }
 
+// reset empties the log for the frame's next pooled incarnation, keeping
+// the buffer's capacity. Called only while no reader holds the frame (the
+// pool's refcount guarantees the successor has detached).
+func (l *critLog) reset() { l.n.Store(0) }
+
 // append publishes one entry. Single writer only.
 func (l *critLog) append(stage, crit int64) {
 	buf := l.buf.Load()

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 )
 
@@ -46,8 +45,7 @@ type pipeline struct {
 	workNs     atomic.Int64
 	spanNs     atomic.Int64
 
-	panicOnce sync.Once
-	panicVal  atomic.Pointer[panicBox]
+	panicVal atomic.Pointer[panicBox]
 
 	// maxLive tracks the observed maximum of join for the space
 	// experiments (Theorem 13): live iteration frames ≈ iteration stack
@@ -63,8 +61,10 @@ const (
 
 type panicBox struct{ v any }
 
+// recordPanic stores the first panic. CAS (rather than sync.Once) keeps
+// the pipeline reusable through the frame pool.
 func (pl *pipeline) recordPanic(v any) {
-	pl.panicOnce.Do(func() { pl.panicVal.Store(&panicBox{v: v}) })
+	pl.panicVal.CompareAndSwap(nil, &panicBox{v: v})
 }
 
 func (pl *pipeline) panicked() bool { return pl.panicVal.Load() != nil }
@@ -175,25 +175,16 @@ func (f *frame) parkOnCross(j int64) {
 	}
 }
 
-// newIter creates the frame for the next iteration and links it into the
-// neighbour chain.
+// newIter acquires the frame for the next iteration and links it into the
+// neighbour chain. The reference the pipeline's prevIter slot held on
+// prev transfers to the new frame's prev pointer (see pool.go).
 func (pl *pipeline) newIter(prev *frame) *frame {
-	f := newCoroutineFrame(pl.eng, kindIter, nil)
+	f := pl.eng.acquireIterFrame()
 	f.pl = pl
 	f.index = pl.nextIndex
-	f.inStage0 = true
 	f.instrOn = pl.instrument
 	f.prev = prev
 	pl.nextIndex++
-	f.body = func(f *frame) {
-		pl.body(&Iter{f: f})
-		// Implicit cilk_sync: every Cilk function syncs before returning,
-		// so children spawned with Go but never Synced join here.
-		if sc := f.curScope; sc != nil {
-			f.curScope = nil
-			f.syncScope(sc)
-		}
-	}
 	if prev != nil {
 		prev.next.Store(f)
 	}
@@ -278,8 +269,10 @@ func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 			switch msg.kind {
 			case yDone:
 				// The whole body was stage 0 (or it panicked): retire
-				// inline.
+				// inline. The chain slot (pl.prevIter) keeps its
+				// reference until the next iteration links past it.
 				pl.join.Add(-1)
+				it.unref()
 			case ySuspend:
 				// Parked straight out of stage 0 on a cross edge; a
 				// future check-right will resume it. Keep looping.
@@ -297,13 +290,25 @@ func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 			cf.status.Store(statusSyncing)
 			if pl.join.Load() == 0 {
 				if cf.status.CompareAndSwap(statusSyncing, statusRunning) {
+					pl.releaseChain()
 					return yieldMsg{kind: yDone}
 				}
 				return yieldMsg{kind: ySuspend}
 			}
 			return yieldMsg{kind: ySuspend}
 		}
+		pl.releaseChain()
 		return yieldMsg{kind: yDone}
+	}
+}
+
+// releaseChain drops the pipeline's reference on the most recent
+// iteration frame at the end of the drain phase, allowing it to recycle
+// (all iterations have retired by now, so this is the last reference).
+func (pl *pipeline) releaseChain() {
+	if pl.prevIter != nil {
+		pl.prevIter.unref()
+		pl.prevIter = nil
 	}
 }
 

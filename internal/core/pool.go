@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Frame pooling (Section 9 spirit: keep per-iteration bookkeeping cheap).
+//
+// The steady state of a throttled pipeline creates and retires one
+// iteration frame per iteration. Without pooling each frame costs a
+// ~300-byte struct, two unbuffered channels, a body closure, and a fresh
+// goroutine; with pooling an iteration frame is recycled through a
+// sync.Pool together with its channel pair AND its goroutine — the
+// coroutine runner parks on its resume channel after yielding yDone and
+// serves the frame's next incarnation instead of exiting (see
+// frame.corun). Closure frames and pipeline/control pairs recycle through
+// their own pools. The Options.PoolFrames ablation switch restores
+// allocate-per-use for measurement.
+//
+// Recycling discipline. A frame may be reused only when no goroutine can
+// still dereference its non-atomic fields. Iteration frames are
+// reference-counted (frame.refs): one reference is held by the scheduler
+// from acquisition until retirement in afterDone (or the control frame's
+// inline-completion path), and one travels down the successor chain — it
+// is held first by the pipeline's prevIter slot and transfers to the
+// successor's prev pointer, which the successor drops once it has
+// observed stageDone (dropPrev). Stale *racy* readers — a thief that
+// loaded a victim's assigned pointer just before the frame retired, or a
+// predecessor's next pointer — touch only atomic fields plus the
+// immutable kind, and the worst they can do is claim a park of the
+// frame's next incarnation, which the parking protocols already treat as
+// a spurious wake (publish-then-recheck; see parkOnCross and syncScope).
+// Each pool therefore serves exactly one frame kind, so kind never
+// changes on reuse and remains safely readable without synchronization.
+//
+// A pooled iteration frame whose runner goroutine is parked for reuse
+// holds a reference to the engine's closedCh; if the sync.Pool drops the
+// frame under GC pressure the goroutine stays parked until Engine.Close,
+// bounding the leak by the engine's lifetime.
+
+// framePools is the engine's recycling state.
+type framePools struct {
+	iter     sync.Pool // *frame, kindIter, with channels and (once started) a live runner
+	task     sync.Pool // *frame, kindClosure
+	pipeline sync.Pool // *pipeline with its embedded control frame
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// acquireIterFrame returns a ready iteration frame: recycled when pooling
+// is enabled, freshly allocated otherwise.
+func (e *Engine) acquireIterFrame() *frame {
+	var f *frame
+	if e.opts.PoolFrames {
+		if v := e.pools.iter.Get(); v != nil {
+			f = v.(*frame)
+			e.pools.hits.Add(1)
+		}
+	}
+	if f == nil {
+		if e.opts.PoolFrames {
+			e.pools.misses.Add(1)
+		}
+		f = &frame{
+			kind:     kindIter,
+			eng:      e,
+			resume:   make(chan struct{}),
+			yield:    make(chan yieldMsg),
+			reusable: e.opts.PoolFrames,
+		}
+		f.it.f = f
+	}
+	// Reset the per-incarnation state. The runner goroutine (if parked for
+	// reuse) observes these writes through the resume-channel handshake.
+	f.stage.Store(0)
+	f.status.Store(statusRunning)
+	f.waitStage.Store(0)
+	f.next.Store(nil)
+	f.prev = nil
+	f.inStage0 = true
+	f.foldCache = 0
+	f.nFoldHits, f.nCrossChecks = 0, 0
+	f.instrOn = false
+	f.nodeStart, f.curCrit, f.workAcc = 0, 0, 0
+	f.prevCritCursor = 0
+	f.critLog.reset()
+	f.curScope = nil
+	f.waitingScope.Store(nil)
+	f.panicked = nil
+	f.w = nil
+	f.refs.Store(2) // scheduler ownership + the successor-chain slot
+	return f
+}
+
+// unref drops one reference to an iteration frame, recycling it when the
+// last reference goes.
+func (f *frame) unref() {
+	if f.refs.Add(-1) != 0 {
+		return
+	}
+	if !f.reusable {
+		return // GC reclaims the frame and its (exiting) runner
+	}
+	// Clear reference-holding fields so the pool does not pin dead object
+	// graphs; scalar state resets on acquire.
+	f.pl = nil
+	f.eng.pools.iter.Put(f)
+}
+
+// dropPrev releases the frame's reference on its predecessor. Runner-local
+// (called only from the frame's own coroutine), hence at most once per
+// incarnation: prev is set non-nil only at creation.
+func (f *frame) dropPrev() {
+	if p := f.prev; p != nil {
+		f.prev = nil
+		p.unref()
+	}
+}
+
+// acquireClosureFrame returns a fork-join task frame bound to sc and fn.
+func (e *Engine) acquireClosureFrame(sc *scope, fn func(*worker)) *frame {
+	if e.opts.PoolFrames {
+		if v := e.pools.task.Get(); v != nil {
+			t := v.(*frame)
+			e.pools.hits.Add(1)
+			t.scope = sc
+			t.fn = fn
+			return t
+		}
+		e.pools.misses.Add(1)
+	}
+	return &frame{kind: kindClosure, eng: e, scope: sc, fn: fn, reusable: e.opts.PoolFrames}
+}
+
+// releaseClosureFrame recycles a retired task frame. Closure frames are
+// referenced only by the worker executing them (deque slots beyond the
+// top/bottom window are never dereferenced), so no refcount is needed.
+func (e *Engine) releaseClosureFrame(t *frame) {
+	if !t.reusable {
+		return
+	}
+	t.scope = nil
+	t.fn = nil
+	e.pools.task.Put(t)
+}
+
+// acquirePipeline returns a pipeline with its control frame, reset for a
+// new pipe_while execution.
+func (e *Engine) acquirePipeline() *pipeline {
+	var pl *pipeline
+	if e.opts.PoolFrames {
+		if v := e.pools.pipeline.Get(); v != nil {
+			pl = v.(*pipeline)
+			e.pools.hits.Add(1)
+		}
+	}
+	if pl == nil {
+		if e.opts.PoolFrames {
+			e.pools.misses.Add(1)
+		}
+		pl = &pipeline{eng: e}
+		pl.control = &frame{kind: kindControl, eng: e, reusable: e.opts.PoolFrames}
+		pl.control.pl = pl
+	}
+	pl.cond, pl.body = nil, nil
+	pl.join.Store(0)
+	pl.parent = nil
+	pl.done = nil
+	pl.nextIndex = 0
+	pl.phase = phaseLoop
+	pl.prevIter = nil
+	pl.instrument = false
+	pl.workNs.Store(0)
+	pl.spanNs.Store(0)
+	pl.panicVal.Store(nil)
+	pl.maxLive.Store(0)
+	cf := pl.control
+	cf.status.Store(statusRunning)
+	cf.w = nil
+	return pl
+}
+
+// releasePipeline recycles a completed pipeline after its results have
+// been read (launch or the nested PipeWhile). At that point every
+// iteration has retired and the control frame has signalled completion,
+// so only the releasing goroutine still holds the pipeline.
+func (e *Engine) releasePipeline(pl *pipeline) {
+	if !pl.control.reusable {
+		return
+	}
+	pl.cond, pl.body = nil, nil
+	pl.parent = nil
+	pl.done = nil
+	pl.prevIter = nil
+	e.pools.pipeline.Put(pl)
+}

@@ -47,8 +47,7 @@ func (it *Iter) Go(fn func()) {
 	}
 	sc := f.curScope
 	sc.join.Add(1)
-	t := &frame{kind: kindClosure, eng: f.eng, scope: sc}
-	t.fn = func(*worker) { fn() }
+	t := f.eng.acquireClosureFrame(sc, func(*worker) { fn() })
 	f.w.pushWork(t)
 }
 
@@ -90,8 +89,7 @@ func (it *Iter) For(n, grain int, body func(int)) {
 			mid := lo + (hi-lo)/2
 			lo2, hi2 := mid, hi
 			sc.join.Add(1)
-			t := &frame{kind: kindClosure, eng: f.eng, scope: sc}
-			t.fn = func(w2 *worker) { split(w2, lo2, hi2) }
+			t := f.eng.acquireClosureFrame(sc, func(w2 *worker) { split(w2, lo2, hi2) })
 			w.pushWork(t)
 			hi = mid
 		}
@@ -124,6 +122,7 @@ func (f *frame) syncScope(sc *scope) {
 		if t != nil {
 			f.eng.stats.closureTasks.Add(1)
 			runClosureTask(t, f.w)
+			f.eng.releaseClosureFrame(t)
 			if sc.join.Add(-1) == 0 {
 				break
 			}

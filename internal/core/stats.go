@@ -49,6 +49,21 @@ type Stats struct {
 	Pipelines int64
 	// ClosureTasks counts spawned fork-join tasks executed.
 	ClosureTasks int64
+	// Parks counts workers blocking on their park channel after an
+	// unsuccessful scan of every work source.
+	Parks int64
+	// Wakes counts wake tokens delivered to parked workers by signal.
+	// With event-driven parking each token targets a distinct worker, so
+	// Wakes ≈ Parks in the steady state (the old single-slot wake channel
+	// dropped tokens and relied on polling).
+	Wakes int64
+	// Injects counts root frames queued through the sharded injection
+	// path (one per top-level pipeline launch).
+	Injects int64
+	// FramePoolHits and FramePoolMisses count acquisitions served from
+	// the frame/pipeline pools versus fresh allocations (see pool.go).
+	// Always zero when Options.PoolFrames is false.
+	FramePoolHits, FramePoolMisses int64
 }
 
 // statCounters is the atomic backing store inside the engine.
@@ -70,6 +85,9 @@ type statCounters struct {
 	segments        atomic.Int64
 	pipelines       atomic.Int64
 	closureTasks    atomic.Int64
+	parks           atomic.Int64
+	wakes           atomic.Int64
+	injects         atomic.Int64
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -91,5 +109,8 @@ func (c *statCounters) snapshot() Stats {
 		Segments:        c.segments.Load(),
 		Pipelines:       c.pipelines.Load(),
 		ClosureTasks:    c.closureTasks.Load(),
+		Parks:           c.parks.Load(),
+		Wakes:           c.wakes.Load(),
+		Injects:         c.injects.Load(),
 	}
 }

@@ -67,17 +67,20 @@ func (e *Engine) StopTrace(out io.Writer) error {
 	return enc.Encode(evs)
 }
 
-// traceSegment records one finished segment on worker w.
-func (w *worker) traceSegment(f *frame, start int64) {
-	if !w.eng.tracing.Load() {
+// traceSegment records one finished segment on worker w. The frame's kind
+// and index are snapshotted by the caller before the segment runs: after
+// a suspend the frame may already belong to a waker (and, with pooling,
+// may even have been recycled), so it must not be dereferenced here.
+func (w *worker) traceSegment(tracing bool, kind frameKind, index int64, start int64) {
+	if !tracing || !w.eng.tracing.Load() {
 		return
 	}
 	var name string
-	switch f.kind {
+	switch kind {
 	case kindControl:
 		name = "pipe_while control"
 	case kindIter:
-		name = fmt.Sprintf("iter %d", f.index)
+		name = fmt.Sprintf("iter %d", index)
 	default:
 		name = "task"
 	}

@@ -16,7 +16,8 @@
 // The scheduler automatically throttles each pipeline to at most K live
 // iterations (default 4·P), precluding runaway pipelines, and implements
 // the paper's lazy enabling, dependency folding, and tail-swap
-// optimizations, each individually switchable for ablation studies.
+// optimizations — plus frame/coroutine pooling for an allocation-free
+// steady state — each individually switchable for ablation studies.
 //
 // A minimal SPS (serial-parallel-serial) pipeline:
 //
@@ -82,6 +83,16 @@ func LazyEnabling(enabled bool) Option {
 // (default on).
 func TailSwap(enabled bool) Option {
 	return func(o *core.Options) { o.TailSwap = enabled }
+}
+
+// PoolFrames toggles frame, coroutine, and pipeline recycling (default
+// on): iteration frames return to a sync.Pool together with their resume/
+// yield channel pair and their runner goroutine, so the steady state of a
+// throttled pipeline allocates nothing per iteration. Disable only for
+// ablation measurements — every frame is then allocated (and its
+// goroutine spawned) fresh, as in the unoptimized runtime.
+func PoolFrames(enabled bool) Option {
+	return func(o *core.Options) { o.PoolFrames = enabled }
 }
 
 // NewEngine starts a scheduler with the given options.
