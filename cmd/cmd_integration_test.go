@@ -140,3 +140,18 @@ func TestPiperbenchCmdSmoke(t *testing.T) {
 		t.Fatalf("missing table title:\n%s", stdout)
 	}
 }
+
+func TestPipeserveCmd(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "pipeserve")
+	stdout, _ := run(t, bin,
+		"-p", "2", "-tenants", "4", "-requests", "300", "-cancel", "0.3", "-work", "200")
+	// run fails the test on a non-zero exit, which pipeserve returns for
+	// unexpected errors, accounting mismatches, or an undrained engine;
+	// assert the summary markers explicitly as well.
+	for _, want := range []string{"failures=0", "drained=true", "300 requests"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("missing %q in pipeserve output:\n%s", want, stdout)
+		}
+	}
+}

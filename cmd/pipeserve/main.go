@@ -1,0 +1,172 @@
+// Command pipeserve demonstrates the async serving scenario end to end:
+// a multi-tenant driver sustains thousands of concurrent short pipelines
+// on one engine — Submit instead of PipeWhile — with randomized
+// cancellation, and verifies that the engine drains completely when the
+// traffic stops.
+//
+// Each "request" is a short SPS (serial-parallel-serial) pipeline:
+// stage 0 parses the request serially, stage 1 processes chunks in
+// parallel (with fork-join inside), and a final pipe_wait stage assembles
+// the response in order. A configurable fraction of requests is canceled
+// at a random point in flight; the driver checks that canceled requests
+// report the context error, everything else completes, and the
+// scheduler's live-frame gauges return to zero.
+//
+// Usage:
+//
+//	pipeserve -p 8 -tenants 16 -requests 5000 -cancel 0.2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"piper"
+	"piper/internal/workload"
+)
+
+func main() {
+	var (
+		p        = flag.Int("p", runtime.GOMAXPROCS(0), "scheduler workers")
+		tenants  = flag.Int("tenants", 16, "concurrent tenants (request issuers)")
+		requests = flag.Int("requests", 5000, "total requests across all tenants")
+		inflight = flag.Int("inflight", 64, "max in-flight requests per tenant")
+		cancelF  = flag.Float64("cancel", 0.2, "fraction of requests canceled mid-flight")
+		work     = flag.Int64("work", 2000, "spin units per pipeline stage")
+		seed     = flag.Uint64("seed", 1, "workload shape seed")
+	)
+	flag.Parse()
+	if *tenants < 1 {
+		*tenants = 1
+	}
+	if *requests < 0 {
+		*requests = 0
+	}
+	if *inflight < 1 {
+		*inflight = 1
+	}
+	if *work < 2 {
+		*work = 2 // the per-request jitter draws from [work/2, work)
+	}
+
+	eng := piper.NewEngine(piper.Workers(*p))
+
+	var (
+		completed atomic.Int64
+		canceled  atomic.Int64
+		failures  atomic.Int64
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	record := func(d time.Duration) {
+		latMu.Lock()
+		latencies = append(latencies, d)
+		latMu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for tn := 0; tn < *tenants; tn++ {
+		tn := tn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := workload.NewRNG(*seed*0x9e3779b9 + uint64(tn))
+			sem := make(chan struct{}, *inflight)
+			var tw sync.WaitGroup
+			quota := *requests / *tenants
+			if tn < *requests%*tenants {
+				quota++
+			}
+			for q := 0; q < quota; q++ {
+				sem <- struct{}{}
+				iters := 4 + int(rng.Intn(12))
+				spin := *work/2 + int64(rng.Intn(int(*work)))
+				doCancel := rng.Float64() < *cancelF
+				cancelAfter := time.Duration(rng.Intn(500)) * time.Microsecond
+
+				ctx, cancel := context.WithCancel(context.Background())
+				var sink atomic.Uint64
+				i := 0
+				t0 := time.Now()
+				h := eng.Submit(ctx, func() bool { i++; return i <= iters }, func(it *piper.Iter) {
+					sink.Add(workload.Spin(spin)) // stage 0: parse serially
+					it.Continue(1)
+					it.Go(func() { sink.Add(workload.Spin(spin)) })
+					sink.Add(workload.Spin(spin)) // stage 1: parallel body
+					it.Sync()
+					it.Wait(2)
+					sink.Add(workload.Spin(spin / 4)) // stage 2: respond in order
+				})
+				tw.Add(1)
+				go func() {
+					defer tw.Done()
+					defer cancel()
+					defer func() { <-sem }()
+					if doCancel {
+						time.Sleep(cancelAfter)
+						cancel()
+					}
+					err := h.Wait()
+					record(time.Since(t0))
+					switch {
+					case err == nil:
+						completed.Add(1)
+					case context.Cause(ctx) != nil:
+						canceled.Add(1)
+					default:
+						failures.Add(1)
+						fmt.Fprintf(os.Stderr, "pipeserve: unexpected error: %v\n", err)
+					}
+				}()
+			}
+			tw.Wait()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	s := eng.Stats()
+	drained := s.LiveIterFrames == 0 && s.LiveClosureFrames == 0 && s.LivePipelines == 0
+	// Gauges may trail the last completion signal by one worker step.
+	for d := time.Millisecond; !drained && d < time.Second; d *= 2 {
+		time.Sleep(d)
+		s = eng.Stats()
+		drained = s.LiveIterFrames == 0 && s.LiveClosureFrames == 0 && s.LivePipelines == 0
+	}
+	eng.Close()
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+
+	fmt.Printf("pipeserve: %d requests over %d tenants on P=%d in %v (%.0f req/s)\n",
+		*requests, *tenants, *p, elapsed.Round(time.Millisecond),
+		float64(*requests)/elapsed.Seconds())
+	fmt.Printf("  completed=%d canceled=%d failures=%d\n",
+		completed.Load(), canceled.Load(), failures.Load())
+	fmt.Printf("  latency p50=%v p95=%v p99=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	fmt.Printf("  submits=%d cancelRequests=%d abortedPipelines=%d abortedIterations=%d\n",
+		s.Submits, s.CancelRequests, s.AbortedPipelines, s.AbortedIterations)
+	fmt.Printf("  iterations=%d steals=%d poolHits=%d poolMisses=%d overflows=%d\n",
+		s.Iterations, s.Steals, s.FramePoolHits, s.FramePoolMisses, s.InjectOverflows)
+	fmt.Printf("  drained=%v\n", drained)
+
+	if failures.Load() > 0 || !drained ||
+		completed.Load()+canceled.Load() != int64(*requests) {
+		os.Exit(1)
+	}
+}

@@ -61,14 +61,19 @@ func runJSONBench(name string, perIter int, mkEngine func() *piper.Engine, body 
 	e := mkEngine()
 	defer e.Close()
 	body(e) // warm pools and workers outside the measurement
-	before := e.Stats()
+	var before, after piper.Stats
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
+		// Snapshot inside the closure: testing.Benchmark invokes it
+		// repeatedly while calibrating b.N, and r.N is only the final
+		// round's count — a delta spanning the calibration rounds would
+		// inflate every per-op counter.
+		before = e.Stats()
 		for i := 0; i < b.N; i++ {
 			body(e)
 		}
+		after = e.Stats()
 	})
-	after := e.Stats()
 	div := 1.0
 	if perIter > 0 {
 		div = float64(perIter)

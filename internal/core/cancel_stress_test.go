@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"piper/internal/workload"
+)
+
+// TestCancelStressRandomized is the serving-scenario soak: hundreds of
+// concurrent Submits, each canceled at a random point in its life —
+// before launch, mid-flight, near completion, or never. Every Wait must
+// return the context error or nil, no goroutine may leak, and every frame
+// must drain back to the pools.
+func TestCancelStressRandomized(t *testing.T) {
+	base := goroutineBaseline()
+	opts := DefaultOptions()
+	opts.Workers = 4
+	e := NewEngine(opts)
+
+	const pipelines = 300
+	rng := workload.NewRNG(0xc0ffee)
+	var (
+		wg        sync.WaitGroup
+		completed atomic.Int64
+		canceled  atomic.Int64
+		badErrs   atomic.Int64
+	)
+	for p := 0; p < pipelines; p++ {
+		iters := 1 + int(rng.Intn(40))
+		spin := int64(rng.Intn(2000))
+		// mode 0: never cancel; 1: pre-canceled; 2: cancel after a random
+		// delay; 3: cancel via Handle.Cancel from the waiter.
+		mode := int(rng.Intn(4))
+		delay := time.Duration(rng.Intn(300)) * time.Microsecond
+
+		ctx, cancel := context.WithCancel(context.Background())
+		if mode == 1 {
+			cancel()
+		}
+		i := 0
+		var sink atomic.Uint64
+		h := e.Submit(ctx, func() bool { i++; return i <= iters }, func(it *Iter) {
+			it.Continue(1)
+			sink.Add(workload.Spin(spin))
+			it.Wait(2)
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cancel()
+			switch mode {
+			case 2:
+				time.Sleep(delay)
+				cancel()
+			case 3:
+				time.Sleep(delay)
+				h.Cancel()
+			}
+			switch err := h.Wait(); {
+			case err == nil:
+				completed.Add(1)
+			case errors.Is(err, context.Canceled):
+				canceled.Add(1)
+			default:
+				badErrs.Add(1)
+				t.Errorf("Wait = %v, want nil or context.Canceled", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if completed.Load()+canceled.Load() != pipelines {
+		t.Fatalf("accounting: %d completed + %d canceled + %d bad != %d",
+			completed.Load(), canceled.Load(), badErrs.Load(), pipelines)
+	}
+	s := e.Stats()
+	if s.Submits != pipelines {
+		t.Fatalf("Submits = %d, want %d", s.Submits, pipelines)
+	}
+	if s.AbortedPipelines != canceled.Load() {
+		t.Errorf("AbortedPipelines = %d, but %d Waits returned the context error",
+			s.AbortedPipelines, canceled.Load())
+	}
+	t.Logf("completed=%d canceled=%d abortedIters=%d cancelRequests=%d",
+		completed.Load(), canceled.Load(), s.AbortedIterations, s.CancelRequests)
+
+	// Leak invariants: pool gauges back to baseline with the engine still
+	// open, then goroutine count back to baseline after Close.
+	checkEngineDrained(t, e)
+	e.Close()
+	checkGoroutinesSettle(t, base, 4)
+}
+
+// TestCancelStressNestedForkJoin drives the abort paths through the
+// composition the runtime optimizes hardest: nested pipelines and
+// fork-join stages under random cancellation.
+func TestCancelStressNestedForkJoin(t *testing.T) {
+	base := goroutineBaseline()
+	opts := DefaultOptions()
+	opts.Workers = 4
+	e := NewEngine(opts)
+
+	const pipelines = 60
+	rng := workload.NewRNG(0xdecaf)
+	var wg sync.WaitGroup
+	for p := 0; p < pipelines; p++ {
+		delay := time.Duration(rng.Intn(500)) * time.Microsecond
+		ctx, cancel := context.WithCancel(context.Background())
+		i := 0
+		var sink atomic.Uint64
+		h := e.Submit(ctx, func() bool { i++; return i <= 30 }, func(it *Iter) {
+			it.Continue(1)
+			it.Go(func() { sink.Add(workload.Spin(200)) })
+			it.Go(func() { sink.Add(workload.Spin(200)) })
+			it.Sync()
+			it.Wait(2)
+			j := 0
+			it.PipeWhile(func() bool { j++; return j <= 4 }, func(nit *Iter) {
+				nit.Continue(1)
+				sink.Add(workload.Spin(100))
+			})
+			it.Wait(3)
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(delay)
+			cancel()
+			if err := h.Wait(); err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("Wait = %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	checkEngineDrained(t, e)
+	e.Close()
+	checkGoroutinesSettle(t, base, 4)
+}

@@ -91,6 +91,14 @@ type Engine struct {
 	idleWorkers []*worker
 	idle        atomic.Int64
 
+	// submitMu orders root-frame injection against Close: injectors hold
+	// the read side across the closed check and the inject, Close takes
+	// the write side to flip closed, so every frame published to a ring
+	// happens-before the closed flag — the final drain scan in findWork
+	// is ordered after that flag and therefore misses nothing. Without
+	// this, a Submit racing Close could strand a queued pipeline and its
+	// Handle.Wait would hang forever.
+	submitMu sync.RWMutex
 	closed   atomic.Bool
 	closedCh chan struct{}
 	wg       sync.WaitGroup
@@ -135,17 +143,42 @@ func (e *Engine) Stats() Stats {
 	s := e.stats.snapshot()
 	s.FramePoolHits = e.pools.hits.Load()
 	s.FramePoolMisses = e.pools.misses.Load()
+	s.LiveIterFrames = e.pools.liveIter.Load()
+	s.LiveClosureFrames = e.pools.liveClosure.Load()
+	s.LivePipelines = e.pools.livePipeline.Load()
 	return s
 }
 
 // Close shuts the engine down. It must not be called while pipelines are
-// still running. Closing also releases every pooled coroutine runner
-// parked for reuse.
+// still running (Wait every outstanding Handle first). Closing also
+// releases every pooled coroutine runner parked for reuse. A Submit or
+// PipeWhile launch racing Close either completes normally (the last
+// exiting worker drains it) or observes the closed engine; its work is
+// never silently stranded.
 func (e *Engine) Close() {
-	if e.closed.CompareAndSwap(false, true) {
-		close(e.closedCh)
-		e.wg.Wait()
+	e.submitMu.Lock()
+	closing := e.closed.CompareAndSwap(false, true)
+	e.submitMu.Unlock()
+	if !closing {
+		return
 	}
+	// Wake every parked worker: each observes the closed flag, runs a
+	// final drain scan (ordered after the flag, hence after every
+	// successful inject), and exits once no work remains. Workers that
+	// race past the sweep re-check the flag before parking.
+	for {
+		w := e.claimIdle()
+		if w == nil {
+			break
+		}
+		w.parkCh <- struct{}{}
+	}
+	e.wg.Wait()
+	// Release the pooled coroutine runners only after the workers are
+	// gone: frames acquired from the pools during the drain must still
+	// have live runners, and the resume handshake must never race a
+	// runner's shutdown (corun's select would drop the resume).
+	close(e.closedCh)
 }
 
 // PipeWhile executes an on-the-fly pipeline: while cond() reports true, an
@@ -231,19 +264,16 @@ func (e *Engine) RunPipelineAdaptive(kMin, kMax int, cond func() bool, body func
 }
 
 func (e *Engine) launch(pl *pipeline) PipelineReport {
+	pl.done = make(chan struct{})
+	e.submitMu.RLock()
 	if e.closed.Load() {
+		e.submitMu.RUnlock()
 		panic("piper: PipeWhile on closed engine")
 	}
-	pl.done = make(chan struct{})
 	e.inject(pl.control)
+	e.submitMu.RUnlock()
 	<-pl.done
-	rep := PipelineReport{
-		Iterations:        pl.nextIndex,
-		MaxLiveIterations: pl.maxLive.Load(),
-		FinalThrottle:     pl.K.Load(),
-		WorkNs:            pl.workNs.Load(),
-		SpanNs:            pl.spanNs.Load(),
-	}
+	rep := pl.report()
 	pb := pl.panicVal.Load()
 	e.releasePipeline(pl)
 	if pb != nil {
@@ -274,6 +304,9 @@ func (it *Iter) PipeWhileThrottled(k int, cond func() bool, body func(*Iter)) {
 		panic("piper: nested pipelines may not be started from stage 0")
 	}
 	pl := f.eng.newPipeline(k, cond, body, f.pl.depth+1)
+	// A nested pipeline inherits the root submission's cancellation word,
+	// so canceling a Submit tears down the whole pipeline tree.
+	pl.abort = f.pl.abort
 	sc := &scope{owner: f}
 	sc.join.Store(1)
 	pl.parent = sc
@@ -282,8 +315,15 @@ func (it *Iter) PipeWhileThrottled(k int, cond func() bool, body func(*Iter)) {
 	pb := pl.panicVal.Load()
 	f.eng.releasePipeline(pl)
 	if pb != nil {
+		// Record under the nested pipeline's original stack before
+		// rethrowing, so a Handle's *PanicError names the true panic
+		// site, not this propagation point.
+		f.pl.recordPanicStack(pb.v, pb.stack)
 		panic(pb.v)
 	}
+	// The nested pipeline observed the abort and drained; unwind the
+	// enclosing iteration too rather than resuming its body.
+	f.abortCheck()
 }
 
 func (e *Engine) newPipeline(k int, cond func() bool, body func(*Iter), depth int) *pipeline {
@@ -319,6 +359,7 @@ func (e *Engine) inject(f *frame) {
 	e.overflowN.Add(1)
 	e.overflowMu.Unlock()
 	e.stats.injects.Add(1)
+	e.stats.injectOverflows.Add(1)
 	e.signal()
 }
 
@@ -561,7 +602,7 @@ func (w *worker) afterDone(f *frame) *frame {
 			}
 			return w.deque.Pop()
 		}
-		close(pl.done)
+		w.eng.finishTopLevel(pl)
 		return w.deque.Pop()
 	}
 	return w.deque.Pop()
@@ -643,6 +684,14 @@ func (w *worker) findWork() *frame {
 			return f
 		}
 		if e.closed.Load() {
+			// Drain before exiting: a launch that won the submitMu race
+			// against Close may have published work this iteration's scan
+			// predated. This scan is ordered after the closed flag, and
+			// the flag after every successful inject, so nothing queued
+			// is ever stranded.
+			if f := w.pollWork(); f != nil {
+				return f
+			}
 			return nil
 		}
 		e.registerIdle(w)
@@ -650,11 +699,19 @@ func (w *worker) findWork() *frame {
 			e.cancelIdle(w)
 			return f
 		}
-		e.stats.parks.Add(1)
-		select {
-		case <-w.parkCh:
-		case <-e.closedCh:
-			return nil
+		// Pair with Close's wake sweep: if registration raced past the
+		// sweep, this load (ordered after registerIdle) sees the flag and
+		// self-cancels; if it ran before the flag flipped, the sweep sees
+		// the registration and delivers a wake token. Either way no
+		// worker stays parked across Close.
+		if e.closed.Load() {
+			e.cancelIdle(w)
+			continue // final drain scan at the loop top, then exit
 		}
+		e.stats.parks.Add(1)
+		// No closedCh case: Close only closes that channel after wg.Wait,
+		// by which point no worker is parked — a parked worker is always
+		// released by a wake token, from signal or from Close's sweep.
+		<-w.parkCh
 	}
 }

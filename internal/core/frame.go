@@ -21,6 +21,7 @@ package core
 
 import (
 	"math"
+	"runtime/debug"
 	"sync/atomic"
 )
 
@@ -171,14 +172,28 @@ func (f *frame) corun() {
 }
 
 // runOnce executes one incarnation of the iteration body, converting a
-// user panic into pipeline panic state.
+// user panic into pipeline panic state. An abortUnwind sentinel (a cancel
+// observed at a stage boundary) retires the frame through the same path
+// without recording a panic.
 func (f *frame) runOnce() {
 	f.instrBeginIteration()
 	defer func() {
 		if r := recover(); r != nil {
-			f.panicked = r
-			if f.pl != nil {
-				f.pl.recordPanic(r)
+			if _, isAbort := r.(abortUnwind); isAbort {
+				f.eng.stats.abortedIters.Add(1)
+			} else {
+				f.panicked = r
+				if f.pl != nil {
+					f.pl.recordPanicStack(r, debug.Stack())
+				}
+			}
+			// Join children spawned before the unwind: no fork-join task of
+			// this iteration may outlive its frame's retirement, or a
+			// canceled Submit would complete while user closures still run
+			// (and the frame would recycle under a live scope owner).
+			if sc := f.curScope; sc != nil {
+				f.curScope = nil
+				f.drainScope(sc)
 			}
 			f.finishIter()
 		}
@@ -191,6 +206,27 @@ func (f *frame) runOnce() {
 		f.syncScope(sc)
 	}
 	f.finishIter()
+}
+
+// abortCheck unwinds the iteration if its submission has been canceled.
+// Called at stage boundaries — the cooperative preemption points.
+func (f *frame) abortCheck() {
+	if f.pl.abortRequested() {
+		panic(abortUnwind{})
+	}
+}
+
+// drainScope joins sc while already unwinding, recording (rather than
+// rethrowing) any child panic.
+func (f *frame) drainScope(sc *scope) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortUnwind); !isAbort && f.pl != nil {
+				f.pl.recordPanicStack(r, debug.Stack())
+			}
+		}
+	}()
+	f.syncScope(sc)
 }
 
 // finishIter publishes iteration completion: every cross edge out of this

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestInjectOverflowSubmitBurst is the regression test for the injection
+// overflow path under concurrent Submit bursts. A single worker is held
+// hostage inside a pipeline body while producers submit far more root
+// frames than the worker's injection ring can hold, forcing the spill to
+// the mutex-guarded overflow list. Every submitted pipeline must then
+// execute exactly once — no frame lost in the spill, none double-executed
+// by the ring/overflow handoff — including pipelines canceled while still
+// queued.
+func TestInjectOverflowSubmitBurst(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 1 // one ring (capacity 64), easy to overflow
+	e := NewEngine(opts)
+	defer e.Close()
+
+	hostageRelease := make(chan struct{})
+	hostageRunning := make(chan struct{})
+	i := 0
+	hostage := e.Submit(context.Background(), func() bool { i++; return i == 1 }, func(it *Iter) {
+		close(hostageRunning)
+		<-hostageRelease
+	})
+	<-hostageRunning // the only worker is now blocked inside a body
+
+	const burst = 8 * injectRingCap // 512 pipelines against one 64-slot ring
+	const producers = 8
+	runs := make([]atomic.Int32, burst)
+	handles := make([]*Handle, burst)
+	cancels := make([]context.CancelFunc, burst)
+	var wg sync.WaitGroup
+	for prod := 0; prod < producers; prod++ {
+		prod := prod
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := prod; idx < burst; idx += producers {
+				idx := idx
+				ctx := context.Context(nil)
+				if idx%5 == 0 { // a fifth get canceled while still queued
+					c, cancel := context.WithCancel(context.Background())
+					ctx, cancels[idx] = c, cancel
+				}
+				started := false
+				handles[idx] = e.Submit(ctx,
+					func() bool { s := started; started = true; return !s },
+					func(it *Iter) { runs[idx].Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	for _, cancel := range cancels {
+		if cancel != nil {
+			cancel()
+		}
+	}
+	if got := e.Stats().InjectOverflows; got == 0 {
+		t.Fatalf("burst of %d never hit the overflow path (ring cap %d)", burst, injectRingCap)
+	}
+
+	close(hostageRelease)
+	if err := hostage.Wait(); err != nil {
+		t.Fatalf("hostage pipeline: %v", err)
+	}
+	var executed, skipped int32
+	for idx, h := range handles {
+		err := h.Wait() // every handle completes: no frame was lost
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("pipeline %d: %v", idx, err)
+		}
+		switch n := runs[idx].Load(); n {
+		case 1:
+			executed++
+		case 0:
+			skipped++
+			if err == nil {
+				t.Fatalf("pipeline %d reported success without running", idx)
+			}
+		default:
+			t.Fatalf("pipeline %d executed %d times", idx, n)
+		}
+	}
+	if executed+skipped != burst {
+		t.Fatalf("%d executed + %d skipped != %d", executed, skipped, burst)
+	}
+	t.Logf("executed=%d canceled-before-start=%d overflows=%d",
+		executed, skipped, e.Stats().InjectOverflows)
+	checkEngineDrained(t, e)
+}

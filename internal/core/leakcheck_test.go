@@ -1,0 +1,71 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Hand-rolled leak checking shared by the cancellation, overflow, and fuzz
+// tests. Two invariants together prove that aborted work drains cleanly:
+// the engine's live-frame gauges return to zero once every pipeline has
+// completed, and the process goroutine count settles back to its
+// pre-engine baseline after Close (pooled coroutine runners exit
+// asynchronously on the closed channel, so both checks poll).
+
+// settles polls cond until it reports true or the deadline expires.
+func settles(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for delay := 100 * time.Microsecond; ; delay *= 2 {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return cond()
+		}
+		if delay > 50*time.Millisecond {
+			delay = 50 * time.Millisecond
+		}
+		time.Sleep(delay)
+	}
+}
+
+// checkEngineDrained asserts that e holds no live frames: every iteration
+// frame, closure frame, and pipeline acquired has been retired. Call with
+// all pipelines completed but the engine still open. Gauges may trail a
+// completion signal by one worker step, hence the settle loop.
+func checkEngineDrained(t testing.TB, e *Engine) {
+	t.Helper()
+	ok := settles(5*time.Second, func() bool {
+		s := e.Stats()
+		return s.LiveIterFrames == 0 && s.LiveClosureFrames == 0 && s.LivePipelines == 0
+	})
+	if !ok {
+		s := e.Stats()
+		t.Errorf("engine not drained: %d live iteration frames, %d live closure frames, %d live pipelines",
+			s.LiveIterFrames, s.LiveClosureFrames, s.LivePipelines)
+	}
+}
+
+// goroutineBaseline samples the current goroutine count for a later
+// checkGoroutinesSettle. Take it before creating the engine under test.
+func goroutineBaseline() int {
+	runtime.GC() // flush exiting goroutines from prior tests
+	return runtime.NumGoroutine()
+}
+
+// checkGoroutinesSettle asserts the goroutine count returns to within
+// slack of base. Call after Engine.Close: worker goroutines are joined by
+// Close, while pooled runners exit asynchronously via the closed channel.
+func checkGoroutinesSettle(t testing.TB, base, slack int) {
+	t.Helper()
+	ok := settles(10*time.Second, func() bool {
+		return runtime.NumGoroutine() <= base+slack
+	})
+	if !ok {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutines leaked: %d now vs baseline %d (+%d slack)\n%s",
+			runtime.NumGoroutine(), base, slack, buf[:n])
+	}
+}

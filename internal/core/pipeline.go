@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync/atomic"
 )
 
@@ -29,6 +30,15 @@ type pipeline struct {
 	// top-level pipeline, which signals done instead.
 	parent *scope
 	done   chan struct{}
+
+	// sub is the Handle of an asynchronous submission (nil for blocking
+	// PipeWhile); completion is harvested into it by finishTopLevel.
+	sub *Handle
+	// abort points at the submission's cancellation word, shared by every
+	// pipeline nested under the same Submit; nil when the pipeline cannot
+	// be canceled. The abortState is owned by the Handle and outlives this
+	// (pooled) pipeline.
+	abort *abortState
 
 	// depth is the pipe-nesting depth D of this loop (1 = top level).
 	depth int
@@ -59,15 +69,30 @@ const (
 	phaseDrain             // loop condition exhausted; syncing children
 )
 
-type panicBox struct{ v any }
+// panicBox carries a captured panic value plus the stack of the
+// panicking goroutine (populated on the recovery paths that have it).
+type panicBox struct {
+	v     any
+	stack []byte
+}
 
 // recordPanic stores the first panic. CAS (rather than sync.Once) keeps
 // the pipeline reusable through the frame pool.
-func (pl *pipeline) recordPanic(v any) {
-	pl.panicVal.CompareAndSwap(nil, &panicBox{v: v})
+func (pl *pipeline) recordPanic(v any) { pl.recordPanicStack(v, nil) }
+
+// recordPanicStack is recordPanic with the panicking goroutine's stack.
+func (pl *pipeline) recordPanicStack(v any, stack []byte) {
+	pl.panicVal.CompareAndSwap(nil, &panicBox{v: v, stack: stack})
 }
 
 func (pl *pipeline) panicked() bool { return pl.panicVal.Load() != nil }
+
+// abortRequested reports whether the submission this pipeline belongs to
+// has been canceled. Costs a nil check for non-cancelable pipelines.
+func (pl *pipeline) abortRequested() bool {
+	a := pl.abort
+	return a != nil && a.requested()
+}
 
 // Iter is the per-iteration handle passed to the pipeline body. Its
 // methods must be called from the body's goroutine only.
@@ -106,6 +131,7 @@ func (it *Iter) Wait(j int64) {
 		f.serialAdvance(j)
 		return
 	}
+	f.abortCheck()
 	f.instrEndNode(j)
 	f.advance(j)
 	left0 := f.inStage0
@@ -121,6 +147,10 @@ func (it *Iter) Wait(j int64) {
 		return
 	}
 	f.parkOnCross(j)
+	// A park can outlast a cancel request (the wake arrives when the
+	// aborting predecessor publishes stageDone); do not start stage j's
+	// user code in that case.
+	f.abortCheck()
 	f.instrBeginNode(true, j)
 }
 
@@ -133,6 +163,7 @@ func (it *Iter) Continue(j int64) {
 		f.serialAdvance(j)
 		return
 	}
+	f.abortCheck()
 	f.instrEndNode(j)
 	f.advance(j)
 	if f.inStage0 {
@@ -209,7 +240,11 @@ func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 	pl.eng.stats.segments.Add(1)
 	for {
 		if pl.phase == phaseLoop {
-			if pl.panicked() {
+			if pl.panicked() || pl.abortRequested() {
+				// Abort or panic: stop spawning. The loop condition is not
+				// evaluated again (it may consume input), and phaseDrain
+				// syncs on the live iterations, which unwind at their next
+				// stage boundary.
 				pl.phase = phaseDrain
 				continue
 			}
@@ -317,7 +352,7 @@ func (pl *pipeline) releaseChain() {
 func (pl *pipeline) safeCond() (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			pl.recordPanic(r)
+			pl.recordPanicStack(r, debug.Stack())
 			ok = false
 		}
 	}()
@@ -348,6 +383,18 @@ func (pl *pipeline) onIterReturn() *frame {
 // iteration frames observed, the quantity bounded by the throttling
 // analysis (Theorem 11 / Theorem 13).
 func (pl *pipeline) MaxLiveIterations() int64 { return pl.maxLive.Load() }
+
+// report snapshots the completed pipeline's space/shape numbers — the
+// single source for both the blocking launch and the async harvest.
+func (pl *pipeline) report() PipelineReport {
+	return PipelineReport{
+		Iterations:        pl.nextIndex,
+		MaxLiveIterations: pl.maxLive.Load(),
+		FinalThrottle:     pl.K.Load(),
+		WorkNs:            pl.workNs.Load(),
+		SpanNs:            pl.spanNs.Load(),
+	}
+}
 
 func minInt64(a, b int64) int64 {
 	if a < b {

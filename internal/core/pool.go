@@ -47,11 +47,20 @@ type framePools struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// Live gauges: checked-out-not-yet-retired counts per frame kind,
+	// maintained on every acquire/release (pooled or not). An idle engine
+	// has all three at zero; the cancellation and fuzz tests assert this
+	// to prove aborted frames drain cleanly mid-flight.
+	liveIter     atomic.Int64
+	liveClosure  atomic.Int64
+	livePipeline atomic.Int64
 }
 
 // acquireIterFrame returns a ready iteration frame: recycled when pooling
 // is enabled, freshly allocated otherwise.
 func (e *Engine) acquireIterFrame() *frame {
+	e.pools.liveIter.Add(1)
 	var f *frame
 	if e.opts.PoolFrames {
 		if v := e.pools.iter.Get(); v != nil {
@@ -100,6 +109,7 @@ func (f *frame) unref() {
 	if f.refs.Add(-1) != 0 {
 		return
 	}
+	f.eng.pools.liveIter.Add(-1)
 	if !f.reusable {
 		return // GC reclaims the frame and its (exiting) runner
 	}
@@ -121,6 +131,7 @@ func (f *frame) dropPrev() {
 
 // acquireClosureFrame returns a fork-join task frame bound to sc and fn.
 func (e *Engine) acquireClosureFrame(sc *scope, fn func(*worker)) *frame {
+	e.pools.liveClosure.Add(1)
 	if e.opts.PoolFrames {
 		if v := e.pools.task.Get(); v != nil {
 			t := v.(*frame)
@@ -138,6 +149,7 @@ func (e *Engine) acquireClosureFrame(sc *scope, fn func(*worker)) *frame {
 // referenced only by the worker executing them (deque slots beyond the
 // top/bottom window are never dereferenced), so no refcount is needed.
 func (e *Engine) releaseClosureFrame(t *frame) {
+	e.pools.liveClosure.Add(-1)
 	if !t.reusable {
 		return
 	}
@@ -149,6 +161,7 @@ func (e *Engine) releaseClosureFrame(t *frame) {
 // acquirePipeline returns a pipeline with its control frame, reset for a
 // new pipe_while execution.
 func (e *Engine) acquirePipeline() *pipeline {
+	e.pools.livePipeline.Add(1)
 	var pl *pipeline
 	if e.opts.PoolFrames {
 		if v := e.pools.pipeline.Get(); v != nil {
@@ -168,6 +181,8 @@ func (e *Engine) acquirePipeline() *pipeline {
 	pl.join.Store(0)
 	pl.parent = nil
 	pl.done = nil
+	pl.sub = nil
+	pl.abort = nil
 	pl.nextIndex = 0
 	pl.phase = phaseLoop
 	pl.prevIter = nil
@@ -187,12 +202,15 @@ func (e *Engine) acquirePipeline() *pipeline {
 // iteration has retired and the control frame has signalled completion,
 // so only the releasing goroutine still holds the pipeline.
 func (e *Engine) releasePipeline(pl *pipeline) {
+	e.pools.livePipeline.Add(-1)
 	if !pl.control.reusable {
 		return
 	}
 	pl.cond, pl.body = nil, nil
 	pl.parent = nil
 	pl.done = nil
+	pl.sub = nil
+	pl.abort = nil
 	pl.prevIter = nil
 	e.pools.pipeline.Put(pl)
 }

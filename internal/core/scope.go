@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 )
 
@@ -17,9 +18,10 @@ type scope struct {
 	panicVal atomic.Pointer[panicBox]
 }
 
-// recordPanic stores the first child panic.
-func (sc *scope) recordPanic(v any) {
-	sc.panicVal.CompareAndSwap(nil, &panicBox{v: v})
+// recordPanic stores the first child panic with the panicking
+// goroutine's stack, so the stack survives the rethrow at the sync.
+func (sc *scope) recordPanic(v any, stack []byte) {
+	sc.panicVal.CompareAndSwap(nil, &panicBox{v: v, stack: stack})
 }
 
 // runClosureTask executes a fork-join task, converting a panic into scope
@@ -27,7 +29,7 @@ func (sc *scope) recordPanic(v any) {
 func runClosureTask(t *frame, w *worker) {
 	defer func() {
 		if r := recover(); r != nil {
-			t.scope.recordPanic(r)
+			t.scope.recordPanic(r, debug.Stack())
 		}
 	}()
 	t.fn(w)
@@ -107,8 +109,15 @@ func (it *Iter) For(n, grain int, body func(int)) {
 // frame is blocked on it), so it spin-helps instead.
 func (f *frame) syncScope(sc *scope) {
 	defer func() {
-		// Rethrow the first child panic at the sync point.
+		// Rethrow the first child panic at the sync point. Record it into
+		// the pipeline first, under the child's own stack: the recover up
+		// in runOnce also records, but its CAS loses to this one, so the
+		// *PanicError surfaced on a Handle names the panicking closure
+		// rather than this sync site.
 		if pb := sc.panicVal.Load(); pb != nil {
+			if f.pl != nil {
+				f.pl.recordPanicStack(pb.v, pb.stack)
+			}
 			panic(pb.v)
 		}
 	}()

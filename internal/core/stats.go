@@ -64,6 +64,28 @@ type Stats struct {
 	// the frame/pipeline pools versus fresh allocations (see pool.go).
 	// Always zero when Options.PoolFrames is false.
 	FramePoolHits, FramePoolMisses int64
+	// InjectOverflows counts root-frame injections that found every
+	// per-worker ring full and spilled to the mutex-guarded overflow
+	// list. Nonzero only under Submit bursts that outrun the workers.
+	InjectOverflows int64
+	// Submits counts pipelines launched asynchronously through Submit.
+	Submits int64
+	// CancelRequests counts cancellations delivered to submissions —
+	// context cancellations and Handle.Cancel calls that were first to
+	// request an abort (later requests on the same Handle do not count).
+	CancelRequests int64
+	// AbortedIterations counts live iterations that unwound at a stage
+	// boundary because their submission was canceled.
+	AbortedIterations int64
+	// AbortedPipelines counts submitted pipelines that completed with an
+	// error on their Handle — a cancellation or a captured panic.
+	AbortedPipelines int64
+	// LiveIterFrames, LiveClosureFrames and LivePipelines are gauges of
+	// currently checked-out (acquired, not yet retired) iteration frames,
+	// fork-join task frames, and pipeline control blocks. On an idle
+	// engine all three are zero — the leak invariant the cancellation
+	// paths are tested against.
+	LiveIterFrames, LiveClosureFrames, LivePipelines int64
 }
 
 // statCounters is the atomic backing store inside the engine.
@@ -88,6 +110,11 @@ type statCounters struct {
 	parks           atomic.Int64
 	wakes           atomic.Int64
 	injects         atomic.Int64
+	injectOverflows atomic.Int64
+	submits         atomic.Int64
+	cancelRequests  atomic.Int64
+	abortedIters    atomic.Int64
+	abortedPipes    atomic.Int64
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -112,5 +139,11 @@ func (c *statCounters) snapshot() Stats {
 		Parks:           c.parks.Load(),
 		Wakes:           c.wakes.Load(),
 		Injects:         c.injects.Load(),
+		InjectOverflows: c.injectOverflows.Load(),
+		Submits:         c.submits.Load(),
+		CancelRequests:  c.cancelRequests.Load(),
+
+		AbortedIterations: c.abortedIters.Load(),
+		AbortedPipelines:  c.abortedPipes.Load(),
 	}
 }

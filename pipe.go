@@ -1,5 +1,26 @@
 package piper
 
+import "context"
+
+// SubmitPipe is Pipe started asynchronously: the pipeline runs in the
+// background, canceled at stage boundaries if ctx is canceled, and the
+// returned Handle reports completion, the context error, or a captured
+// panic. See Engine.Submit for the cancellation semantics.
+func SubmitPipe[T any](ctx context.Context, eng *Engine, next func() (T, bool), body func(it *Iter, v T)) *Handle {
+	var (
+		cur T
+		ok  bool
+	)
+	cond := func() bool {
+		cur, ok = next()
+		return ok
+	}
+	return eng.Submit(ctx, cond, func(it *Iter) {
+		v := cur // stage 0: capture before the next iteration's cond runs
+		body(it, v)
+	})
+}
+
 // Pipe runs a pipeline over the elements produced by next. next executes
 // serially, in order, as part of each iteration's stage 0 and returns the
 // element for the iteration plus an ok flag; the pipeline ends when ok is

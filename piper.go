@@ -19,6 +19,12 @@
 // optimizations — plus frame/coroutine pooling for an allocation-free
 // steady state — each individually switchable for ablation studies.
 //
+// Beyond the blocking PipeWhile, Engine.Submit launches pipelines
+// asynchronously for serving workloads: many concurrent pipelines per
+// engine, context cancellation that aborts a run at stage boundaries and
+// drains its frames back to the pools, and panics surfaced as errors
+// (*PanicError) through the returned Handle.
+//
 // A minimal SPS (serial-parallel-serial) pipeline:
 //
 //	eng := piper.NewEngine(piper.Workers(8))
@@ -48,6 +54,20 @@ type Iter = core.Iter
 // Stats aggregates scheduler event counters (steals, suspensions,
 // lazy-enabling and dependency-folding activity, tail swaps, ...).
 type Stats = core.Stats
+
+// Handle tracks a pipeline started asynchronously with Engine.Submit.
+// Wait blocks for completion and returns nil, the submission context's
+// error, or a *PanicError; Report adds the PipelineReport; Done exposes a
+// completion channel for select loops; Cancel aborts without a context.
+type Handle = core.Handle
+
+// PanicError is the error a Handle reports when the pipeline's condition
+// or body panicked: the panic value plus the panicking goroutine's stack.
+type PanicError = core.PanicError
+
+// ErrEngineClosed is reported through a Handle when Submit is called on a
+// closed engine.
+var ErrEngineClosed = core.ErrEngineClosed
 
 // PipelineReport summarizes a completed pipeline run.
 type PipelineReport = core.PipelineReport
