@@ -29,15 +29,25 @@ func main() {
 		plist      = flag.String("plist", "", "comma-separated worker counts (default 1,2,...,NumCPU)")
 		pmax       = flag.Int("pmax", runtime.NumCPU(), "worker count for single-P experiments")
 		jsonOut    = flag.String("json", "", "write the machine-readable benchmark suite to this file (e.g. BENCH_piper.json) and exit")
+		only       = flag.String("only", "", "with -json: run only benchmarks whose name contains this substring")
+		baseline   = flag.String("baseline", "", "with -json: compare the guarded benchmark against this checked-in report and exit nonzero on regression")
+		guard      = flag.String("guard", "SerialOverheadPerIter/P1", "with -baseline: benchmark name to guard")
+		maxregress = flag.Float64("maxregress", 15, "with -baseline: fail if the guarded benchmark is more than this percent slower")
 	)
 	flag.Parse()
 
 	if *jsonOut != "" {
-		if err := bench.WriteJSONFile(*jsonOut); err != nil {
+		if err := bench.WriteJSONFile(*jsonOut, *only); err != nil {
 			fmt.Fprintf(os.Stderr, "piperbench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+		if *baseline != "" {
+			if err := bench.CheckRegression(*jsonOut, *baseline, *guard, *maxregress); err != nil {
+				fmt.Fprintf(os.Stderr, "piperbench: benchmark regression: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -91,11 +94,42 @@ func TestAblationsSmall(t *testing.T) {
 	sz := Small()
 	sz.PipeFibN = 800
 	tbl := Ablations(nil, 2, sz)
-	if len(tbl.Rows) != 4 {
+	if len(tbl.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
 	if tbl.Rows[0][2] != "1.00" {
 		t.Fatalf("baseline slowdown should be 1.00, got %s", tbl.Rows[0][2])
+	}
+}
+
+// TestCheckRegression exercises the CI benchmark guard against doctored
+// reports: within the limit passes, beyond it fails, and a missing
+// benchmark name is an error rather than a silent pass.
+func TestCheckRegression(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ns float64) string {
+		rep := JSONReport{Benchmarks: []JSONBenchmark{{Name: "X/P1", NsPerOp: ns}}}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", 100)
+	okFresh := write("ok.json", 110)
+	badFresh := write("bad.json", 130)
+	if err := CheckRegression(okFresh, base, "X/P1", 15); err != nil {
+		t.Fatalf("10%% drift within 15%% limit failed: %v", err)
+	}
+	if err := CheckRegression(badFresh, base, "X/P1", 15); err == nil {
+		t.Fatal("30% regression passed the 15% guard")
+	}
+	if err := CheckRegression(okFresh, base, "Missing", 15); err == nil {
+		t.Fatal("missing benchmark name passed")
 	}
 }
 

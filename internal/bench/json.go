@@ -2,9 +2,11 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"piper"
@@ -26,13 +28,16 @@ type JSONBenchmark struct {
 	// counters.
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
-	// Steals, Parks, Wakes, PoolHits and PoolMisses are scheduler counter
-	// deltas per operation, from Engine.Stats.
-	Steals     float64 `json:"steals_per_op"`
-	Parks      float64 `json:"parks_per_op"`
-	Wakes      float64 `json:"wakes_per_op"`
-	PoolHits   float64 `json:"pool_hits_per_op"`
-	PoolMisses float64 `json:"pool_misses_per_op"`
+	// Steals, Parks, Wakes, PoolHits, PoolMisses, InlineIters and
+	// Promotions are scheduler counter deltas per operation, from
+	// Engine.Stats.
+	Steals      float64 `json:"steals_per_op"`
+	Parks       float64 `json:"parks_per_op"`
+	Wakes       float64 `json:"wakes_per_op"`
+	PoolHits    float64 `json:"pool_hits_per_op"`
+	PoolMisses  float64 `json:"pool_misses_per_op"`
+	InlineIters float64 `json:"inline_iters_per_op"`
+	Promotions  float64 `json:"promotions_per_op"`
 }
 
 // JSONReport is the top-level BENCH_piper.json document.
@@ -44,13 +49,15 @@ type JSONReport struct {
 }
 
 // statDelta captures counter deltas across a benchmark run.
-func statDelta(before, after piper.Stats, n int) (steals, parks, wakes, hits, misses float64) {
+func statDelta(before, after piper.Stats, n int) (steals, parks, wakes, hits, misses, inline, promotions float64) {
 	d := float64(n)
 	return float64(after.Steals-before.Steals) / d,
 		float64(after.Parks-before.Parks) / d,
 		float64(after.Wakes-before.Wakes) / d,
 		float64(after.FramePoolHits-before.FramePoolHits) / d,
-		float64(after.FramePoolMisses-before.FramePoolMisses) / d
+		float64(after.FramePoolMisses-before.FramePoolMisses) / d,
+		float64(after.InlineIterations-before.InlineIterations) / d,
+		float64(after.Promotions-before.Promotions) / d
 }
 
 // runJSONBench runs one benchmark body against a dedicated engine and
@@ -78,7 +85,7 @@ func runJSONBench(name string, perIter int, mkEngine func() *piper.Engine, body 
 	if perIter > 0 {
 		div = float64(perIter)
 	}
-	steals, parks, wakes, hits, misses := statDelta(before, after, r.N)
+	steals, parks, wakes, hits, misses, inline, promotions := statDelta(before, after, r.N)
 	return JSONBenchmark{
 		Name:        name,
 		N:           r.N,
@@ -90,14 +97,18 @@ func runJSONBench(name string, perIter int, mkEngine func() *piper.Engine, body 
 		Wakes:       wakes / div,
 		PoolHits:    hits / div,
 		PoolMisses:  misses / div,
+		InlineIters: inline / div,
+		Promotions:  promotions / div,
 	}
 }
 
-// JSONSuite runs the machine-readable benchmark suite: scheduler
-// microbenchmarks (per-iteration cost of the frame lifecycle, pooled and
-// unpooled) plus two small end-to-end workloads, and writes the report to
-// w as JSON.
-func JSONSuite(w io.Writer) error {
+// JSONSuite runs the machine-readable benchmark suite — scheduler
+// microbenchmarks (per-iteration cost of the frame lifecycle: inline,
+// promoted-coroutine ablation, pooled and unpooled) plus two small
+// end-to-end workloads — and writes the report to w as JSON. A non-empty
+// filter restricts the suite to benchmarks whose name contains it (the
+// CI regression smoke runs just the serial-overhead row this way).
+func JSONSuite(w io.Writer, filter string) error {
 	const spsIters = 5000
 	sps := func(e *piper.Engine) {
 		i := 0
@@ -115,25 +126,39 @@ func JSONSuite(w io.Writer) error {
 	data := workload.TextStream(1234, 1<<20, 4096, 0.35)
 	dd := func(e *piper.Engine) { _ = dedup.CompressPiper(e, 8, data, io.Discard) }
 
-	pooled := func(p int) func() *piper.Engine {
-		return func() *piper.Engine { return piper.NewEngine(piper.Workers(p)) }
+	mk := func(p int, extra ...piper.Option) func() *piper.Engine {
+		return func() *piper.Engine {
+			return piper.NewEngine(append([]piper.Option{piper.Workers(p)}, extra...)...)
+		}
 	}
-	fresh := func(p int) func() *piper.Engine {
-		return func() *piper.Engine { return piper.NewEngine(piper.Workers(p), piper.PoolFrames(false)) }
+
+	type row struct {
+		name     string
+		perIter  int
+		mkEngine func() *piper.Engine
+		body     func(*piper.Engine)
+	}
+	rows := []row{
+		{"SerialOverheadPerIter/P1", spsIters, mk(1), empty},
+		{"SerialOverheadPerIter/P1/PoolFrames=false", spsIters, mk(1, piper.PoolFrames(false)), empty},
+		{"SerialOverheadPerIter/P1/InlineFastPath=false", spsIters, mk(1, piper.InlineFastPath(false)), empty},
+		{"SPSPerIter/P2", spsIters, mk(2), sps},
+		{"SPSPerIter/P2/PoolFrames=false", spsIters, mk(2, piper.PoolFrames(false)), sps},
+		{"SPSPerIter/P2/InlineFastPath=false", spsIters, mk(2, piper.InlineFastPath(false)), sps},
+		{"PipeFibFine/P2", 0, mk(2), fib},
+		{"Dedup1MiB/P2", 0, mk(2), dd},
 	}
 
 	rep := JSONReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
-		Benchmarks: []JSONBenchmark{
-			runJSONBench("SerialOverheadPerIter/P1", spsIters, pooled(1), empty),
-			runJSONBench("SerialOverheadPerIter/P1/PoolFrames=false", spsIters, fresh(1), empty),
-			runJSONBench("SPSPerIter/P2", spsIters, pooled(2), sps),
-			runJSONBench("SPSPerIter/P2/PoolFrames=false", spsIters, fresh(2), sps),
-			runJSONBench("PipeFibFine/P2", 0, pooled(2), fib),
-			runJSONBench("Dedup1MiB/P2", 0, pooled(2), dd),
-		},
+	}
+	for _, r := range rows {
+		if filter != "" && !strings.Contains(r.name, filter) {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, runJSONBench(r.name, r.perIter, r.mkEngine, r.body))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -141,15 +166,66 @@ func JSONSuite(w io.Writer) error {
 }
 
 // WriteJSONFile runs JSONSuite into path (conventionally
-// BENCH_piper.json).
-func WriteJSONFile(path string) error {
+// BENCH_piper.json), restricted to benchmark names containing filter if
+// non-empty.
+func WriteJSONFile(path, filter string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := JSONSuite(f); err != nil {
+	if err := JSONSuite(f, filter); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// CheckRegression compares the named benchmark's ns_per_op between a
+// freshly written report and a checked-in baseline, and returns an error
+// if the fresh number is more than maxPct percent slower. Used by the CI
+// benchmark-regression smoke step against BENCH_piper.json.
+func CheckRegression(freshPath, baselinePath, name string, maxPct float64) error {
+	load := func(path string) (JSONReport, error) {
+		var rep JSONReport
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return rep, err
+		}
+		return rep, json.Unmarshal(data, &rep)
+	}
+	find := func(rep JSONReport, path string) (JSONBenchmark, error) {
+		for _, b := range rep.Benchmarks {
+			if b.Name == name {
+				return b, nil
+			}
+		}
+		return JSONBenchmark{}, fmt.Errorf("benchmark %q not found in %s", name, path)
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return err
+	}
+	base, err := load(baselinePath)
+	if err != nil {
+		return err
+	}
+	fb, err := find(fresh, freshPath)
+	if err != nil {
+		return err
+	}
+	bb, err := find(base, baselinePath)
+	if err != nil {
+		return err
+	}
+	if bb.NsPerOp <= 0 {
+		return fmt.Errorf("baseline %q has non-positive ns_per_op %v", name, bb.NsPerOp)
+	}
+	pct := 100 * (fb.NsPerOp - bb.NsPerOp) / bb.NsPerOp
+	if pct > maxPct {
+		return fmt.Errorf("%s regressed %.1f%% (baseline %.1f ns/op, now %.1f ns/op, limit +%.0f%%)",
+			name, pct, bb.NsPerOp, fb.NsPerOp, maxPct)
+	}
+	fmt.Printf("%s: %.1f ns/op vs baseline %.1f ns/op (%+.1f%%, limit +%.0f%%)\n",
+		name, fb.NsPerOp, bb.NsPerOp, pct, maxPct)
+	return nil
 }

@@ -17,9 +17,18 @@ import (
 // return the context error or nil, no goroutine may leak, and every frame
 // must drain back to the pools.
 func TestCancelStressRandomized(t *testing.T) {
+	// Both execution tiers: cancellation must behave identically whether
+	// iterations run inline (promoting only on a real suspension) or on
+	// coroutine runners throughout.
+	t.Run("inline", func(t *testing.T) { cancelStressRandomized(t, true) })
+	t.Run("coroutine", func(t *testing.T) { cancelStressRandomized(t, false) })
+}
+
+func cancelStressRandomized(t *testing.T, inline bool) {
 	base := goroutineBaseline()
 	opts := DefaultOptions()
 	opts.Workers = 4
+	opts.InlineFastPath = inline
 	e := NewEngine(opts)
 
 	const pipelines = 300
@@ -100,9 +109,15 @@ func TestCancelStressRandomized(t *testing.T) {
 // composition the runtime optimizes hardest: nested pipelines and
 // fork-join stages under random cancellation.
 func TestCancelStressNestedForkJoin(t *testing.T) {
+	t.Run("inline", func(t *testing.T) { cancelStressNestedForkJoin(t, true) })
+	t.Run("coroutine", func(t *testing.T) { cancelStressNestedForkJoin(t, false) })
+}
+
+func cancelStressNestedForkJoin(t *testing.T, inline bool) {
 	base := goroutineBaseline()
 	opts := DefaultOptions()
 	opts.Workers = 4
+	opts.InlineFastPath = inline
 	e := NewEngine(opts)
 
 	const pipelines = 60

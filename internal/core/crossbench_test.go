@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+// BenchmarkCrossSatisfied measures the cross-edge check on its hot paths:
+// the folding-cache hit (a single runner-local comparison), the shared
+// counter read (folding ablated, so every check loads the predecessor's
+// published stage), and the retired-predecessor fast-out (prev dropped,
+// stageDone cached).
+func BenchmarkCrossSatisfied(b *testing.B) {
+	mk := func(folding bool) (*Engine, *frame, *frame) {
+		opts := DefaultOptions()
+		opts.Workers = 1
+		opts.DependencyFolding = folding
+		e := NewEngine(opts)
+		b.Cleanup(e.Close)
+		prev := &frame{kind: kindIter, eng: e}
+		prev.stage.Store(1 << 40)
+		f := &frame{kind: kindIter, eng: e, prev: prev}
+		return e, prev, f
+	}
+
+	b.Run("FoldHit", func(b *testing.B) {
+		_, _, f := mk(true)
+		f.crossSatisfied(1) // populate the cache with the shared read
+		for i := 0; i < b.N; i++ {
+			if !f.crossSatisfied(2) {
+				b.Fatal("edge should be satisfied")
+			}
+		}
+	})
+	b.Run("SharedRead", func(b *testing.B) {
+		_, _, f := mk(false)
+		for i := 0; i < b.N; i++ {
+			if !f.crossSatisfied(2) {
+				b.Fatal("edge should be satisfied")
+			}
+		}
+	})
+	b.Run("PrevRetired", func(b *testing.B) {
+		_, prev, f := mk(true)
+		prev.refs.Store(2) // keep unref from recycling the test frame
+		prev.stage.Store(stageDone)
+		f.crossSatisfied(1) // observes stageDone, drops prev, caches it
+		for i := 0; i < b.N; i++ {
+			if !f.crossSatisfied(2) {
+				b.Fatal("edge should be satisfied")
+			}
+		}
+	})
+}

@@ -33,6 +33,13 @@ type Options struct {
 	// only for ablation: every frame is then allocated fresh, as in the
 	// unoptimized runtime.
 	PoolFrames bool
+	// InlineFastPath enables tier-1 inline execution (on by default via
+	// DefaultOptions; see frame.go): a worker drives each iteration as a
+	// direct call on its own stack and promotes it to a coroutine frame
+	// only when it must actually block. Disable only for ablation: every
+	// iteration then runs on a coroutine runner with a channel handshake
+	// per segment, as in the previous runtime.
+	InlineFastPath bool
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -44,6 +51,7 @@ func DefaultOptions() Options {
 		EagerEnabling:     false,
 		TailSwap:          true,
 		PoolFrames:        true,
+		InlineFastPath:    true,
 	}
 }
 
@@ -71,15 +79,27 @@ type Engine struct {
 	stats   statCounters
 	pools   framePools
 
+	// Hot cross-worker words, padded apart from each other and from the
+	// mutex-guarded cold state around them: injectRR is bumped by every
+	// producer, idle is loaded by every pushWork (via signal) and written
+	// on park/unpark, and overflowN is polled by every work scan. Sharing
+	// a line among them — or with idleMu, whose lock word churns whenever
+	// a worker parks — would make each writer invalidate every reader.
+	_         cacheLinePad
+	injectRR  atomic.Uint32
+	_         cacheLinePad
+	idle      atomic.Int64
+	_         cacheLinePad
+	overflowN atomic.Int32
+	_         cacheLinePad
+
 	// Root-frame injection is sharded: each worker owns a lock-free MPMC
 	// ring (see deque.Inject) that producers fill round-robin; rings that
 	// are full spill into the mutex-guarded overflow list. Any worker may
 	// drain any ring, so injected work is never stranded behind a busy
 	// shard owner.
-	injectRR   atomic.Uint32
 	overflowMu sync.Mutex
 	overflow   []*frame
-	overflowN  atomic.Int32
 
 	// Parking is event-driven: a worker that finds no work registers in
 	// the idle set and blocks on its private park channel; every signal
@@ -89,7 +109,6 @@ type Engine struct {
 	// bounding the damage by polling).
 	idleMu      sync.Mutex
 	idleWorkers []*worker
-	idle        atomic.Int64
 
 	// submitMu orders root-frame injection against Close: injectors hold
 	// the read side across the closed check and the inject, Close takes
@@ -463,28 +482,77 @@ func (e *Engine) tryWakeRight(f *frame) *frame {
 // --- worker ---------------------------------------------------------------
 
 type worker struct {
-	eng      *Engine
-	id       int
-	deque    *deque.Deque[frame]
-	inbox    *deque.Inject[frame]
-	parkCh   chan struct{}
+	eng    *Engine
+	id     int
+	deque  *deque.Deque[frame]
+	inbox  *deque.Inject[frame]
+	parkCh chan struct{}
+	rng    *workload.RNG
+
+	// assigned is loaded by every thief's sweep (the check-right on a
+	// victim's running iteration) and stored twice per executed segment by
+	// the owner; padding keeps those stores off the lines holding the
+	// read-mostly fields above and the trace state below.
+	_        cacheLinePad
 	assigned atomic.Pointer[frame]
-	rng      *workload.RNG
+	_        cacheLinePad
 
 	// events is the worker's trace buffer (see trace.go).
 	eventsMu sync.Mutex
 	events   []traceEvent
 }
 
+// The worker role is not pinned to a goroutine: when an inline iteration
+// promotes (see frame.promote), the goroutine holding the role becomes
+// that frame's coroutine runner and a takeover goroutine inherits the
+// role — together with the WaitGroup slot, which is released exactly once,
+// by whichever goroutine holds the role when the engine closes.
+
 func (w *worker) loop() {
-	defer w.eng.wg.Done()
+	w.run(nil)
+}
+
+// run drives worker w's scheduling loop on the calling goroutine, seeded
+// with an optional first frame, until the engine closes or the goroutine
+// promotes away (execute returns false; the takeover goroutine now owns
+// the role, so this one must unwind without touching w again).
+func (w *worker) run(f *frame) {
 	for {
-		f := w.findWork()
 		if f == nil {
-			return // engine closed
+			f = w.findWork()
+			if f == nil {
+				w.eng.wg.Done()
+				return // engine closed
+			}
 		}
-		w.execute(f)
+		if !w.execute(f) {
+			return // promoted away
+		}
+		f = nil
 	}
+}
+
+// takeover assumes worker w's scheduling role after the goroutine that
+// held it promoted itself into iteration frame f's coroutine runner. It
+// starts exactly where execute stood mid-driveSegment: as f's driver,
+// blocked on the yield channel. If the promoted iteration's blocking
+// condition resolved during the park protocol's recheck, that receive
+// simply blocks until the body's next suspension or completion — the
+// ordinary driver contract — and w.assigned keeps pointing at f so
+// thieves can check-right it meanwhile.
+func (w *worker) takeover(f *frame) {
+	msg := <-f.co.yield
+	w.assigned.Store(nil)
+	var nf *frame
+	switch msg.kind {
+	case ySuspend:
+		nf = w.afterSuspend(f)
+	case yDone:
+		nf = w.afterDone(f)
+	default:
+		panic("piper: unexpected yield during takeover")
+	}
+	w.run(nf)
 }
 
 // pushWork makes f stealable on w's deque. Safe to call from the worker's
@@ -495,8 +563,12 @@ func (w *worker) pushWork(f *frame) {
 }
 
 // execute drives frames until the worker runs out of local work, following
-// PIPER's assigned-vertex rules at frame granularity.
-func (w *worker) execute(f *frame) {
+// PIPER's assigned-vertex rules at frame granularity. It reports whether
+// the calling goroutine still holds the worker role: false means an
+// iteration promoted underneath a control step and this goroutine already
+// finished serving as its coroutine runner — the takeover goroutine owns
+// w now, so the caller must unwind without touching it.
+func (w *worker) execute(f *frame) bool {
 	for f != nil {
 		traceStart := int64(0)
 		tracing := w.eng.tracing.Load()
@@ -518,6 +590,9 @@ func (w *worker) execute(f *frame) {
 		case kindControl:
 			w.assigned.Store(f)
 			msg := f.pl.step(f, w)
+			if msg.kind == yPromoted {
+				return false
+			}
 			w.assigned.Store(nil)
 			w.traceSegment(tracing, traceKind, traceIndex, traceStart)
 			switch msg.kind {
@@ -527,6 +602,12 @@ func (w *worker) execute(f *frame) {
 				// adopt the freshly spawned iteration, child-first.
 				w.pushWork(f)
 				f = msg.child
+			case yInlineDone:
+				// An iteration ran to completion inline after releasing
+				// the control frame mid-body; retire it here. The control
+				// frame is on a deque (or already stepping elsewhere), so
+				// f itself must not be touched again.
+				f = w.afterDone(msg.child)
 			case ySuspend:
 				// Parked (throttled or syncing): the frame may already
 				// belong to a waker; do not touch it again.
@@ -550,6 +631,7 @@ func (w *worker) execute(f *frame) {
 			}
 		}
 	}
+	return true
 }
 
 // afterSuspend applies lazy enabling when a segment parks: check right on

@@ -4,19 +4,34 @@
 //
 // The scheduler executes "frames": control frames (one per pipe_while
 // loop), iteration frames (one per loop iteration), and closure frames
-// (fork-join tasks). Iteration frames own a coroutine — a goroutine that
-// runs user code and yields to the scheduler over a pair of unbuffered
-// channels at suspension points. A worker "executes" a frame by resuming
-// its coroutine and blocking until it yields; because the worker
-// goroutine is blocked on a channel while the frame runs, exactly the
-// runnable segments occupy CPUs and the scheduler retains PIPER's
-// bind-to-element structure, throttling, and deque discipline.
+// (fork-join tasks). Execution is two-tier:
 //
-// With frame pooling enabled (the default; see pool.go) a retired
-// iteration frame hands its goroutine and channel pair back for reuse:
-// the runner parks on its resume channel after the final yield and serves
-// the frame's next incarnation, so the steady state of a throttled
-// pipeline allocates nothing per iteration.
+// Tier 1 — inline. A worker first drives an iteration as a direct
+// function call on its own stack (runInline): stage bodies run in a loop,
+// each Wait checking its cross edge with a plain atomic load, with no
+// runner goroutine and no channel handshake anywhere. This mirrors the
+// paper's core property — iterations execute greedily and stall only when
+// a cross-edge dependency is actually unsatisfied — so the common case
+// (the edge is satisfied, which throttling and the serial stage-0
+// discipline make overwhelmingly likely) pays only function-call cost.
+//
+// Tier 2 — promoted. Only when an iteration must actually block — an
+// unsatisfied cross edge, a fork-join sync on stolen children, a nested
+// pipeline — does it promote to a full coroutine frame: the worker
+// goroutine itself becomes the frame's coroutine runner (the body's
+// locals are already on its stack, so nothing is replayed; promotion
+// happens at a stage boundary and the suspended state is just the frame's
+// stage index and scheduling words), and a replacement goroutine takes
+// over the worker role, starting out as the frame's driver blocked on the
+// yield channel exactly where execute would be. From then on the frame
+// runs under the ordinary suspend/resume protocol: a worker "executes" it
+// by resuming the runner over the channel pair and blocking until it
+// yields, preserving PIPER's bind-to-element structure, throttling, and
+// deque discipline.
+//
+// The Options.InlineFastPath ablation switch restores the always-coroutine
+// model: every iteration then runs on a (pooled) runner goroutine with a
+// resume/yield handshake per segment, as in the previous runtime.
 package core
 
 import (
@@ -45,7 +60,8 @@ const (
 	statusDone
 )
 
-// yieldKind enumerates the messages a frame's coroutine sends its driver.
+// yieldKind enumerates the messages a frame's coroutine sends its driver,
+// plus the step-local results that never cross a channel.
 type yieldKind int8
 
 const (
@@ -53,14 +69,34 @@ const (
 	ySpawn                       // control: a runnable iteration left stage 0
 	ySuspend                     // frame parked (status says why)
 	yLeftStage0                  // iteration: left the serial stage-0 prefix, still runnable
+	yInlineDone                  // control: an inline iteration completed after releasing the control frame
+	yPromoted                    // control: the goroutine promoted away; the worker role moved on
 )
 
 type yieldMsg struct {
 	kind  yieldKind
-	child *frame // for ySpawn
+	child *frame // for ySpawn and yInlineDone
 }
 
 const stageDone = math.MaxInt64
+
+// cacheLinePad separates hot cross-thread atomics from unrelated state so
+// a writer on one word does not invalidate readers of its neighbours
+// (64 bytes covers every GOARCH this targets; on the few 128-byte-line
+// parts the pair of pads around each group still isolates it).
+type cacheLinePad = [64]byte
+
+// coTail is the coroutine half of an iteration frame: the unbuffered
+// channel pair over which a runner goroutine and its driver hand control
+// back and forth. With the inline fast path enabled the tail is attached
+// only on promotion (from its own pool — see pool.go) and detached again
+// at retirement, so unblocked iterations never carry one; with the fast
+// path ablated every iteration frame owns a tail for its whole pooled
+// lifetime, together with a runner goroutine that parks for reuse.
+type coTail struct {
+	resume chan struct{}
+	yield  chan yieldMsg
+}
 
 // frame is the unit of scheduling. One struct type covers all three kinds
 // so the work-stealing deque stays monomorphic. kind is immutable for the
@@ -71,38 +107,45 @@ type frame struct {
 	kind frameKind
 	eng  *Engine
 
-	// Coroutine machinery (iteration frames). With pooling the channels
-	// and the runner goroutine outlive individual incarnations.
-	resume  chan struct{}
-	yield   chan yieldMsg
+	// co is the coroutine machinery (iteration frames); see coTail for
+	// when it is attached. With pooling (and the inline fast path off) the
+	// tail and the runner goroutine outlive individual incarnations.
+	co *coTail
+	// started is true while a runner goroutine serves this frame: the
+	// driver must resume it rather than spawn one. Promotion sets it (the
+	// promoting goroutine is the runner); retirement of a promoted frame
+	// clears it as the tail detaches.
 	started bool
 	// reusable is immutable: true iff the frame recycles through a pool,
-	// which also makes its runner loop instead of exiting (see corun).
+	// which also makes a corun runner loop instead of exiting.
 	reusable bool
+	// inline is true while the iteration body runs as a direct call on the
+	// worker's goroutine (tier 1). Runner-local; cleared by promotion or at
+	// inline completion.
+	inline bool
 	// refs counts reasons the frame cannot yet be recycled: the
 	// scheduler's ownership plus the successor chain's prev reference
 	// (see pool.go for the full discipline).
 	refs atomic.Int32
 
-	// w is the worker currently driving this frame's segment. It is set by
-	// driveSegment before the coroutine resumes and is stable for the
-	// duration of the segment; user code pushes spawned tasks onto w's
-	// deque through it.
+	// w is the worker currently driving this frame's segment. For a
+	// coroutine segment it is set by driveSegment before the runner
+	// resumes; for an inline run it is the executing worker itself. Stable
+	// for the duration of the segment; user code pushes spawned tasks onto
+	// w's deque through it.
 	w *worker
 
 	// Iteration state.
-	pl        *pipeline
-	it        Iter // the handle passed to the body; self-referential, reused
-	index     int64
-	stage     atomic.Int64 // all nodes with stage < this value are complete
-	status    atomic.Int32
-	waitStage atomic.Int64          // valid while status == statusWaitCross
-	next      atomic.Pointer[frame] // iteration index+1, set by the control frame
-	prev      *frame                // iteration index-1; runner-local, nil once satisfied-done
-	inStage0  bool                  // runner-local: still in the serial stage-0 prefix
+	pl       *pipeline
+	it       Iter // the handle passed to the body; self-referential, reused
+	index    int64
+	prev     *frame // iteration index-1; runner-local, nil once satisfied-done
+	inStage0 bool   // runner-local: still in the serial stage-0 prefix
 
 	// Dependency folding: the most recently observed value of prev's stage
-	// counter. Runner-local, so reads cost nothing.
+	// counter. Runner-local, so reads cost nothing. Never written when the
+	// DependencyFolding ablation is off, which keeps the crossSatisfied
+	// fast path honest (a zero cache can never satisfy a stage j >= 1).
 	foldCache int64
 	// Runner-local stat shadows, flushed to the engine at finish.
 	nFoldHits, nCrossChecks int64
@@ -134,11 +177,25 @@ type frame struct {
 
 	// panicked carries a user panic out of the coroutine.
 	panicked any
+
+	// --- hot cross-thread words -----------------------------------------
+	// The successor polls stage on every cross-edge check and wakers CAS
+	// status, while the owner rewrites the runner-local scratch above many
+	// times per stage; padding on both sides keeps that scratch traffic
+	// from invalidating the line the neighbours' loads have cached.
+	_         cacheLinePad
+	stage     atomic.Int64 // all nodes with stage < this value are complete
+	status    atomic.Int32
+	waitStage atomic.Int64          // valid while status == statusWaitCross
+	next      atomic.Pointer[frame] // iteration index+1, set by the control frame
+	_         cacheLinePad
 }
 
 // driveSegment resumes the frame's coroutine and blocks until it yields.
 // It may be called from a worker's goroutine or, for an iteration's
-// stage-0 segment, from the control frame's coroutine.
+// stage-0 segment under the InlineFastPath ablation, from the control
+// frame's step. With the fast path on it is only ever called on promoted
+// frames, whose runner (the goroutine that promoted) is already live.
 func (f *frame) driveSegment(w *worker) yieldMsg {
 	f.w = w
 	w.eng.stats.segments.Add(1)
@@ -146,37 +203,45 @@ func (f *frame) driveSegment(w *worker) yieldMsg {
 		f.started = true
 		go f.corun()
 	}
-	f.resume <- struct{}{}
-	return <-f.yield
+	f.co.resume <- struct{}{}
+	return <-f.co.yield
 }
 
-// corun is the body of the frame's runner goroutine. A reusable runner
-// loops: after yielding yDone it parks on the resume channel and serves
-// the frame's next incarnation, whose reset state it observes through the
-// channel handshake. The engine's close channel releases runners whose
-// frame sits idle in the pool (or was dropped from it by the GC) when the
-// engine shuts down.
+// corun is the body of a frame's spawned runner goroutine (InlineFastPath
+// off). A reusable runner loops: after yielding yDone it parks on the
+// resume channel and serves the frame's next incarnation, whose reset
+// state it observes through the channel handshake. The engine's close
+// channel releases runners whose frame sits idle in the pool (or was
+// dropped from it by the GC) when the engine shuts down.
 func (f *frame) corun() {
 	for {
 		select {
-		case <-f.resume:
+		case <-f.co.resume:
 		case <-f.eng.closedCh:
 			return
 		}
 		f.runOnce()
-		f.yield <- yieldMsg{kind: yDone}
+		f.co.yield <- yieldMsg{kind: yDone}
 		if !f.reusable {
 			return
 		}
 	}
 }
 
-// runOnce executes one incarnation of the iteration body, converting a
-// user panic into pipeline panic state. An abortUnwind sentinel (a cancel
-// observed at a stage boundary) retires the frame through the same path
-// without recording a panic.
+// runOnce executes one incarnation of the iteration body on a spawned
+// runner goroutine.
 func (f *frame) runOnce() {
-	f.instrBeginIteration()
+	f.runBody()
+	f.finishIter()
+}
+
+// runBody executes the iteration body, converting a user panic into
+// pipeline panic state. An abortUnwind sentinel (a cancel observed at a
+// stage boundary) exits through the same path without recording a panic.
+// Shared by the coroutine runner (runOnce) and the inline fast path
+// (runInline), so cancellation and panic capture behave identically in
+// both execution tiers.
+func (f *frame) runBody() {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isAbort := r.(abortUnwind); isAbort {
@@ -195,9 +260,9 @@ func (f *frame) runOnce() {
 				f.curScope = nil
 				f.drainScope(sc)
 			}
-			f.finishIter()
 		}
 	}()
+	f.instrBeginIteration()
 	f.pl.body(&f.it)
 	// Implicit cilk_sync: every Cilk function syncs before returning, so
 	// children spawned with Go but never Synced join here.
@@ -205,11 +270,107 @@ func (f *frame) runOnce() {
 		f.curScope = nil
 		f.syncScope(sc)
 	}
+}
+
+// inlineResult reports how an inline iteration run ended.
+type inlineResult int8
+
+const (
+	// inlineDoneOwned: the body completed without leaving stage 0; the
+	// caller (the control frame's step) still owns the control frame and
+	// retires the iteration itself.
+	inlineDoneOwned inlineResult = iota
+	// inlineDoneReleased: the body completed inline after releasing the
+	// control frame at its stage-0 exit. The caller no longer owns the
+	// control frame (a thief may be stepping it right now) and must unwind
+	// to the worker loop, which retires the iteration through afterDone.
+	inlineDoneReleased
+	// inlinePromoted: the iteration promoted mid-body and this goroutine
+	// served as its coroutine runner to completion; the worker role
+	// belongs to a takeover goroutine. The caller must unwind without
+	// touching the worker or the pipeline.
+	inlinePromoted
+)
+
+// runInline executes the whole iteration body as a direct call on the
+// worker's goroutine — the tier-1 fast path: no runner goroutine, no
+// channel handshake, just stage bodies separated by cross-edge checks.
+// Wait and Continue detect the inline mode through f.inline and promote
+// (see promote) only if the iteration must actually block.
+func (f *frame) runInline(w *worker) inlineResult {
+	f.w = w
+	f.inline = true
+	f.eng.stats.inlineIters.Add(1)
+	f.runBody()
 	f.finishIter()
+	if f.inline {
+		f.inline = false
+		if f.inStage0 {
+			return inlineDoneOwned
+		}
+		return inlineDoneReleased
+	}
+	// Promoted mid-body: this goroutine is the frame's runner now, and a
+	// driver (the takeover goroutine or whichever worker resumed us last)
+	// is blocked on the yield channel. Hand it the retired frame and
+	// unwind; unlike a pooled corun runner we do not park for reuse — the
+	// tail detaches at the frame's last unref and the next incarnation
+	// starts inline again.
+	f.co.yield <- yieldMsg{kind: yDone}
+	return inlinePromoted
+}
+
+// promote converts a running inline iteration into a full coroutine frame
+// because it is about to block (unsatisfied cross edge, fork-join sync on
+// stolen children, nested pipeline). Promotion happens at a stage
+// boundary, so nothing is replayed: the scheduling state is already in
+// the frame, and the body's locals stay on this goroutine's stack — the
+// goroutine simply changes roles, from worker w's scheduling loop to the
+// frame's coroutine runner. A freshly spawned takeover goroutine assumes
+// the worker role; it starts out as this frame's driver, blocked on the
+// yield channel exactly where execute would be mid-driveSegment, so the
+// standard park protocols (parkOnCross, syncScope) and the retirement
+// handshake run unchanged from here on. If the blocking condition
+// resolves before the park publishes (the publish-then-recheck in those
+// protocols), the body continues on this goroutine with the takeover
+// goroutine as its patient driver — exactly the normal coroutine
+// relationship, just with the roles acquired in the opposite order.
+func (f *frame) promote() {
+	w := f.w
+	e := f.eng
+	e.stats.promotions.Add(1)
+	if f.inStage0 {
+		// Blocking at the stage-0 exit itself: hand the control frame to
+		// the deque first so the pipeline keeps unfolding while we park.
+		f.releaseControl()
+	}
+	f.inline = false
+	if f.co == nil {
+		f.co = e.acquireCoTail()
+	}
+	f.started = true
+	go w.takeover(f)
+}
+
+// releaseControl ends the iteration's serial stage-0 prefix on the inline
+// path: the control frame — whose step call sits frozen below us on this
+// goroutine's stack — is pushed to the deque, where a thief (or this
+// worker, once the inline body completes) picks it up to run iteration
+// i+1's stage 0. This is the inline analogue of the yLeftStage0/ySpawn
+// handoff: the continuation becomes stealable and the worker keeps the
+// child, preserving the spawned-child-first discipline. The frozen step
+// invocation learns of the release through runInline's result and unwinds
+// without touching the pipeline again.
+func (f *frame) releaseControl() {
+	f.inStage0 = false
+	w := f.w
+	w.assigned.Store(f)
+	w.pushWork(f.pl.control)
 }
 
 // abortCheck unwinds the iteration if its submission has been canceled.
-// Called at stage boundaries — the cooperative preemption points.
+// Called at stage boundaries — the cooperative preemption points — in
+// both execution tiers.
 func (f *frame) abortCheck() {
 	if f.pl.abortRequested() {
 		panic(abortUnwind{})
@@ -246,8 +407,8 @@ func (f *frame) finishIter() {
 // the frame. The caller must already have published the parked status and
 // re-checked its condition (or lost a claiming CAS to a waker).
 func (f *frame) park(msg yieldMsg) {
-	f.yield <- msg
-	<-f.resume
+	f.co.yield <- msg
+	<-f.co.resume
 }
 
 // --- Cross-edge protocol -------------------------------------------------
@@ -266,24 +427,38 @@ func (f *frame) advance(j int64) {
 }
 
 // crossSatisfied reports whether node (index-1, j) has completed, i.e.
-// whether the cross edge into node (index, j) is resolved. It consults the
-// dependency-folding cache first when the optimization is enabled.
+// whether the cross edge into node (index, j) is resolved. The fast path
+// is a single runner-local comparison: the folding cache answers without
+// touching shared memory whenever a previous load already proved the
+// predecessor past j — including the stageDone sentinel, which dominates
+// every stage argument, so a retired predecessor is satisfied forever
+// after one read. Everything that must touch the shared counter (or the
+// DependencyFolding ablation, which never populates the cache) lives in
+// crossSatisfiedShared.
 func (f *frame) crossSatisfied(j int64) bool {
+	if f.foldCache > j {
+		f.nFoldHits++
+		return true
+	}
+	return f.crossSatisfiedShared(j)
+}
+
+// crossSatisfiedShared is the cache-miss half of crossSatisfied: load the
+// predecessor's published stage counter once, refresh the folding cache,
+// and handle the stageDone sentinel (releasing the chain for the garbage
+// collector and the frame pool's recycling refcount — except under
+// instrumentation, which still needs the predecessor's crit log).
+func (f *frame) crossSatisfiedShared(j int64) bool {
 	p := f.prev
 	if p == nil {
 		return true
 	}
-	if f.eng.opts.DependencyFolding && f.foldCache > j {
-		f.nFoldHits++
-		return true
-	}
 	f.nCrossChecks++
 	c := p.stage.Load()
-	f.foldCache = c
+	if f.eng.opts.DependencyFolding {
+		f.foldCache = c
+	}
 	if c == stageDone {
-		// Release the chain (for the garbage collector, and for the frame
-		// pool's recycling refcount) — except under instrumentation,
-		// which still needs the predecessor's crit log.
 		if !f.instrOn {
 			f.dropPrev()
 		}
@@ -301,6 +476,8 @@ func (f *frame) crossSatisfiedSlow(j int64) bool {
 	}
 	f.nCrossChecks++
 	c := p.stage.Load()
-	f.foldCache = c
+	if f.eng.opts.DependencyFolding {
+		f.foldCache = c
+	}
 	return c > j
 }

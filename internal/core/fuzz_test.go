@@ -220,23 +220,38 @@ func FuzzPipelineSchedule(f *testing.F) {
 			want[i] = oracleIteration(p, i)
 		}
 
-		// Differential run 1: the paper-faithful default configuration.
-		got := runFuzzProgram(t, p, DefaultOptions())
-		// Differential run 2: every ablation flipped — eager enabling, no
-		// tail swap, no dependency folding, allocate-per-use frames.
+		// Differential runs across the scheduler configuration matrix: the
+		// paper-faithful default (inline fast path + pooling), the fully
+		// ablated runtime (eager enabling, no tail swap, no dependency
+		// folding, allocate-per-use frames, always-coroutine execution),
+		// and both execution tiers crossed with PoolFrames=false — the
+		// promotion and recycling paths must agree with the oracle under
+		// every combination.
 		ablated := DefaultOptions()
 		ablated.EagerEnabling = true
 		ablated.TailSwap = false
 		ablated.DependencyFolding = false
 		ablated.PoolFrames = false
-		got2 := runFuzzProgram(t, p, ablated)
-
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("iteration %d: engine produced %#x, oracle %#x (program %+v)", i, got[i], want[i], p.iters[i])
-			}
-			if got2[i] != want[i] {
-				t.Fatalf("iteration %d (ablated): engine produced %#x, oracle %#x (program %+v)", i, got2[i], want[i], p.iters[i])
+		ablated.InlineFastPath = false
+		inlineNoPool := DefaultOptions()
+		inlineNoPool.PoolFrames = false
+		coroutinePooled := DefaultOptions()
+		coroutinePooled.InlineFastPath = false
+		for _, cfg := range []struct {
+			name string
+			opts Options
+		}{
+			{"default", DefaultOptions()},
+			{"ablated", ablated},
+			{"inline-nopool", inlineNoPool},
+			{"coroutine-pooled", coroutinePooled},
+		} {
+			got := runFuzzProgram(t, p, cfg.opts)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("iteration %d (%s): engine produced %#x, oracle %#x (program %+v)",
+						i, cfg.name, got[i], want[i], p.iters[i])
+				}
 			}
 		}
 	})

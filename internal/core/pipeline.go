@@ -134,6 +134,26 @@ func (it *Iter) Wait(j int64) {
 	f.abortCheck()
 	f.instrEndNode(j)
 	f.advance(j)
+	if f.inline {
+		if !f.crossSatisfied(j) {
+			// The edge is (probably) unsatisfied — the one event the
+			// inline fast path cannot ride out. Promote to a coroutine
+			// frame and park under the standard protocol; its
+			// publish-then-recheck re-validates the edge, so one that
+			// resolved between the inline check and the promotion just
+			// continues the body with the takeover goroutine as driver.
+			f.promote()
+			f.parkOnCross(j)
+			// A park can outlast a cancel request (the wake arrives when
+			// the aborting predecessor publishes stageDone); do not start
+			// stage j's user code in that case.
+			f.abortCheck()
+		} else if f.inStage0 {
+			f.releaseControl()
+		}
+		f.instrBeginNode(true, j)
+		return
+	}
 	left0 := f.inStage0
 	f.inStage0 = false
 	if f.crossSatisfied(j) {
@@ -147,9 +167,8 @@ func (it *Iter) Wait(j int64) {
 		return
 	}
 	f.parkOnCross(j)
-	// A park can outlast a cancel request (the wake arrives when the
-	// aborting predecessor publishes stageDone); do not start stage j's
-	// user code in that case.
+	// See the inline branch above for why this re-check must follow the
+	// park.
 	f.abortCheck()
 	f.instrBeginNode(true, j)
 }
@@ -166,6 +185,13 @@ func (it *Iter) Continue(j int64) {
 	f.abortCheck()
 	f.instrEndNode(j)
 	f.advance(j)
+	if f.inline {
+		if f.inStage0 {
+			f.releaseControl()
+		}
+		f.instrBeginNode(false, j)
+		return
+	}
 	if f.inStage0 {
 		f.inStage0 = false
 		f.park(yieldMsg{kind: yLeftStage0})
@@ -235,6 +261,12 @@ func (pl *pipeline) newIter(prev *frame) *frame {
 // the control frame parked (throttled or syncing; a waker will redeliver
 // it, possibly while this call is still unwinding — the caller must not
 // touch the frame after a suspend), and yDone at pipeline completion.
+// With the inline fast path, step may instead return yInlineDone{child}
+// (an iteration completed inline after releasing the control frame; the
+// caller retires the child and must not touch the control frame) or
+// yPromoted (an inline iteration promoted mid-body; the calling goroutine
+// already served as its runner, the worker role moved to a takeover
+// goroutine, and the caller must unwind touching nothing).
 func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 	cf.w = w
 	pl.eng.stats.segments.Add(1)
@@ -297,9 +329,39 @@ func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 
 			it := pl.newIter(pl.prevIter)
 			pl.prevIter = it
-			// Drive the iteration's stage-0 segment from here; stage 0
-			// runs serially in iteration order, exactly as the pipe_while
-			// transformation in the paper prescribes.
+			// Drive the iteration from here; stage 0 runs serially in
+			// iteration order, exactly as the pipe_while transformation in
+			// the paper prescribes.
+			if pl.eng.opts.InlineFastPath {
+				// Tier-1 fast path: run the whole body as a direct call on
+				// this goroutine. The body releases this control frame to
+				// the deque at its stage-0 exit (thieves pick it up to run
+				// iteration i+1's stage 0) and promotes to a coroutine
+				// frame only if it must block — after either event this
+				// step invocation no longer owns the pipeline and must
+				// unwind through the returned message without touching it.
+				tracing := pl.eng.tracing.Load()
+				var traceStart int64
+				if tracing {
+					traceStart = nowNs()
+				}
+				switch it.runInline(w) {
+				case inlineDoneOwned:
+					// The whole body was stage 0 (or it panicked or
+					// aborted there): retire inline. The chain slot
+					// (pl.prevIter) keeps its reference until the next
+					// iteration links past it.
+					w.traceSegment(tracing, kindIter, it.index, traceStart)
+					pl.join.Add(-1)
+					it.unref()
+					continue
+				case inlineDoneReleased:
+					w.traceSegment(tracing, kindIter, it.index, traceStart)
+					return yieldMsg{kind: yInlineDone, child: it}
+				default: // inlinePromoted
+					return yieldMsg{kind: yPromoted}
+				}
+			}
 			msg := it.driveSegment(w)
 			switch msg.kind {
 			case yDone:

@@ -9,11 +9,14 @@ import (
 //
 // The steady state of a throttled pipeline creates and retires one
 // iteration frame per iteration. Without pooling each frame costs a
-// ~300-byte struct, two unbuffered channels, a body closure, and a fresh
-// goroutine; with pooling an iteration frame is recycled through a
-// sync.Pool together with its channel pair AND its goroutine — the
-// coroutine runner parks on its resume channel after yielding yDone and
-// serves the frame's next incarnation instead of exiting (see
+// ~400-byte struct (and, when it blocks or the inline fast path is off,
+// two unbuffered channels and a fresh goroutine); with pooling an
+// iteration frame recycles through a sync.Pool. Under the inline fast
+// path the pooled unit is a bare header — the coroutine tail attaches
+// only on promotion and recycles separately — while under the ablation
+// the frame recycles together with its channel pair AND its goroutine:
+// the coroutine runner parks on its resume channel after yielding yDone
+// and serves the frame's next incarnation instead of exiting (see
 // frame.corun). Closure frames and pipeline/control pairs recycle through
 // their own pools. The Options.PoolFrames ablation switch restores
 // allocate-per-use for measurement.
@@ -40,8 +43,17 @@ import (
 // bounding the leak by the engine's lifetime.
 
 // framePools is the engine's recycling state.
+//
+// With the inline fast path (the default), pools.iter holds bare inline
+// headers — frames without channels or runner goroutines — and pools.co
+// holds detached coroutine tails; the tail pool is hit only when an
+// iteration promotes, so the steady state of an unblocked pipeline never
+// touches it. With InlineFastPath off, pools.iter holds full coroutine
+// frames whose tails stay attached and whose runners park for reuse, and
+// pools.co is never used.
 type framePools struct {
-	iter     sync.Pool // *frame, kindIter, with channels and (once started) a live runner
+	iter     sync.Pool // *frame, kindIter (see above for what it carries)
+	co       sync.Pool // *coTail: channel pairs attached on promotion
 	task     sync.Pool // *frame, kindClosure
 	pipeline sync.Pool // *pipeline with its embedded control frame
 
@@ -75,9 +87,13 @@ func (e *Engine) acquireIterFrame() *frame {
 		f = &frame{
 			kind:     kindIter,
 			eng:      e,
-			resume:   make(chan struct{}),
-			yield:    make(chan yieldMsg),
 			reusable: e.opts.PoolFrames,
+		}
+		if !e.opts.InlineFastPath {
+			// Always-coroutine ablation: the tail is part of the frame for
+			// its whole lifetime (the runner goroutine is a closure over
+			// it), so it is allocated with the frame, not pooled apart.
+			f.co = &coTail{resume: make(chan struct{}), yield: make(chan yieldMsg)}
 		}
 		f.it.f = f
 	}
@@ -99,6 +115,7 @@ func (e *Engine) acquireIterFrame() *frame {
 	f.waitingScope.Store(nil)
 	f.panicked = nil
 	f.w = nil
+	f.inline = false
 	f.refs.Store(2) // scheduler ownership + the successor-chain slot
 	return f
 }
@@ -113,10 +130,34 @@ func (f *frame) unref() {
 	if !f.reusable {
 		return // GC reclaims the frame and its (exiting) runner
 	}
+	if f.co != nil && f.eng.opts.InlineFastPath {
+		// A promoted frame's runner exits after its final yield instead of
+		// parking for reuse; detach the tail for the next promotion so the
+		// frame recycles as a bare inline header. Safe here: the last
+		// reference is gone, so the final handshake (which this unref is
+		// ordered after) was the last touch on the channels.
+		f.started = false
+		f.eng.pools.co.Put(f.co)
+		f.co = nil
+	}
 	// Clear reference-holding fields so the pool does not pin dead object
 	// graphs; scalar state resets on acquire.
 	f.pl = nil
 	f.eng.pools.iter.Put(f)
+}
+
+// acquireCoTail returns a coroutine tail for a promoting iteration:
+// recycled when pooling is enabled, freshly allocated otherwise. Hit only
+// on promotion — the inline fast path's steady state never comes here.
+func (e *Engine) acquireCoTail() *coTail {
+	if e.opts.PoolFrames {
+		if v := e.pools.co.Get(); v != nil {
+			e.pools.hits.Add(1)
+			return v.(*coTail)
+		}
+		e.pools.misses.Add(1)
+	}
+	return &coTail{resume: make(chan struct{}), yield: make(chan yieldMsg)}
 }
 
 // dropPrev releases the frame's reference on its predecessor. Runner-local

@@ -21,7 +21,9 @@ func newEngineOpts(t testing.TB, mutate func(*Options)) *Engine {
 // on a steady-state SPS pipeline: with PoolFrames on, recycled frames,
 // channels and goroutines must cut per-iteration allocations at least 2×
 // versus the allocate-fresh ablation (in practice the pooled number is
-// near zero).
+// near zero). The fresh baseline ablates the inline fast path too — with
+// it on, even allocate-per-use iterations cost only the bare inline
+// header, which a separate assertion pins down.
 func TestSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation skews allocation counts")
@@ -43,8 +45,13 @@ func TestSteadyStateAllocs(t *testing.T) {
 	}
 
 	pooled := measure(newEngineOpts(t, func(o *Options) { o.Workers = 2 }))
-	fresh := measure(newEngineOpts(t, func(o *Options) { o.Workers = 2; o.PoolFrames = false }))
-	t.Logf("allocs/iteration: pooled=%.3f fresh=%.3f", pooled, fresh)
+	fresh := measure(newEngineOpts(t, func(o *Options) {
+		o.Workers = 2
+		o.PoolFrames = false
+		o.InlineFastPath = false
+	}))
+	inlineFresh := measure(newEngineOpts(t, func(o *Options) { o.Workers = 2; o.PoolFrames = false }))
+	t.Logf("allocs/iteration: pooled=%.3f fresh=%.3f inline-fresh=%.3f", pooled, fresh, inlineFresh)
 	if fresh < 2 {
 		t.Fatalf("fresh-allocation baseline implausibly low (%.3f allocs/iter): measurement broken?", fresh)
 	}
@@ -53,6 +60,11 @@ func TestSteadyStateAllocs(t *testing.T) {
 	}
 	if pooled > 1 {
 		t.Errorf("pooled steady state allocates %.3f/iter, want < 1", pooled)
+	}
+	// An unpooled inline iteration that never blocks allocates just its
+	// header frame: no channels, no runner goroutine.
+	if inlineFresh > 1.5 {
+		t.Errorf("inline unpooled iteration allocates %.3f/iter, want ~1 (header only)", inlineFresh)
 	}
 }
 

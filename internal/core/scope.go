@@ -144,6 +144,12 @@ func (f *frame) syncScope(sc *scope) {
 			runtime.Gosched()
 			continue
 		}
+		if f.inline {
+			// Stolen children (or a nested pipeline) force a suspension
+			// the inline fast path cannot express: promote to a coroutine
+			// frame so the scope-park protocol below has a driver.
+			f.promote()
+		}
 		f.waitingScope.Store(sc)
 		f.status.Store(statusWaitScope)
 		if sc.join.Load() == 0 {

@@ -139,9 +139,14 @@ func TestAdaptiveFixedWhenBoundsEqual(t *testing.T) {
 // TestAdaptiveGrowsUnderStarvation: the Figure 10 pathology with idle
 // workers must widen the window beyond the minimum. The growth trigger
 // (idle workers while window-bound) is scheduling-dependent, so the test
-// retries with increasingly heavy iterations under host load.
+// retries with increasingly heavy iterations under host load. It runs on
+// the coroutine tier: the per-segment handshakes interleave the workers
+// enough to surface window-boundness even at GOMAXPROCS < P, whereas the
+// inline tier may legitimately serialize the whole pipeline there (greedy
+// inline iterations never block, so starvation cannot arise to trigger
+// growth).
 func TestAdaptiveGrowsUnderStarvation(t *testing.T) {
-	e := newTestEngine(t, 4)
+	e := newEngineOpts(t, func(o *Options) { o.Workers = 4; o.InlineFastPath = false })
 	attempt := func(heavyMicros int64) bool {
 		// One heavy iteration blocks the serial tail stage while light
 		// ones pile up: with kMin=2 the pipeline starves 3 of 4 workers.

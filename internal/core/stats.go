@@ -43,7 +43,18 @@ type Stats struct {
 	FoldHits int64
 	// Iterations counts pipeline iterations started.
 	Iterations int64
-	// Segments counts coroutine segments driven by workers.
+	// InlineIterations counts iterations started on the tier-1 inline
+	// fast path: the body begins as a direct call on the worker's
+	// goroutine, with no coroutine machinery (see frame.runInline).
+	// Always zero when Options.InlineFastPath is false.
+	InlineIterations int64
+	// Promotions counts inline iterations that had to block — an
+	// unsatisfied cross edge, a fork-join sync on stolen children, a
+	// nested pipeline — and were promoted to full coroutine frames
+	// mid-body. An unblocked pipeline's steady state has zero.
+	Promotions int64
+	// Segments counts coroutine and control segments driven by workers
+	// (inline iterations are counted by InlineIterations instead).
 	Segments int64
 	// Pipelines counts pipe_while loops executed (including nested).
 	Pipelines int64
@@ -104,6 +115,8 @@ type statCounters struct {
 	crossChecks     atomic.Int64
 	foldHits        atomic.Int64
 	iterations      atomic.Int64
+	inlineIters     atomic.Int64
+	promotions      atomic.Int64
 	segments        atomic.Int64
 	pipelines       atomic.Int64
 	closureTasks    atomic.Int64
@@ -119,29 +132,31 @@ type statCounters struct {
 
 func (c *statCounters) snapshot() Stats {
 	return Stats{
-		Steals:          c.steals.Load(),
-		FailedSteals:    c.failedSteals.Load(),
-		LazyEnables:     c.lazyEnables.Load(),
-		ThiefEnables:    c.thiefEnables.Load(),
-		EagerEnables:    c.eagerEnables.Load(),
-		TailSwaps:       c.tailSwaps.Load(),
-		CrossSuspends:   c.crossSuspends.Load(),
-		ThrottleParks:   c.throttleParks.Load(),
-		ThrottleGrows:   c.throttleGrows.Load(),
-		ThrottleShrinks: c.throttleShrinks.Load(),
-		ScopeSuspends:   c.scopeSuspends.Load(),
-		CrossChecks:     c.crossChecks.Load(),
-		FoldHits:        c.foldHits.Load(),
-		Iterations:      c.iterations.Load(),
-		Segments:        c.segments.Load(),
-		Pipelines:       c.pipelines.Load(),
-		ClosureTasks:    c.closureTasks.Load(),
-		Parks:           c.parks.Load(),
-		Wakes:           c.wakes.Load(),
-		Injects:         c.injects.Load(),
-		InjectOverflows: c.injectOverflows.Load(),
-		Submits:         c.submits.Load(),
-		CancelRequests:  c.cancelRequests.Load(),
+		Steals:           c.steals.Load(),
+		FailedSteals:     c.failedSteals.Load(),
+		LazyEnables:      c.lazyEnables.Load(),
+		ThiefEnables:     c.thiefEnables.Load(),
+		EagerEnables:     c.eagerEnables.Load(),
+		TailSwaps:        c.tailSwaps.Load(),
+		CrossSuspends:    c.crossSuspends.Load(),
+		ThrottleParks:    c.throttleParks.Load(),
+		ThrottleGrows:    c.throttleGrows.Load(),
+		ThrottleShrinks:  c.throttleShrinks.Load(),
+		ScopeSuspends:    c.scopeSuspends.Load(),
+		CrossChecks:      c.crossChecks.Load(),
+		FoldHits:         c.foldHits.Load(),
+		Iterations:       c.iterations.Load(),
+		InlineIterations: c.inlineIters.Load(),
+		Promotions:       c.promotions.Load(),
+		Segments:         c.segments.Load(),
+		Pipelines:        c.pipelines.Load(),
+		ClosureTasks:     c.closureTasks.Load(),
+		Parks:            c.parks.Load(),
+		Wakes:            c.wakes.Load(),
+		Injects:          c.injects.Load(),
+		InjectOverflows:  c.injectOverflows.Load(),
+		Submits:          c.submits.Load(),
+		CancelRequests:   c.cancelRequests.Load(),
 
 		AbortedIterations: c.abortedIters.Load(),
 		AbortedPipelines:  c.abortedPipes.Load(),

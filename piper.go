@@ -115,6 +115,18 @@ func PoolFrames(enabled bool) Option {
 	return func(o *core.Options) { o.PoolFrames = enabled }
 }
 
+// InlineFastPath toggles tier-1 inline execution (default on): a worker
+// first drives each iteration as direct function calls on its own stack —
+// no runner goroutine, no channel handshake — and promotes it to a full
+// coroutine frame only when it must actually block (an unsatisfied cross
+// edge, a fork-join sync on stolen children, a nested pipeline). Disable
+// only for ablation measurements — every iteration then runs on a pooled
+// coroutine runner with a resume/yield handshake per segment, as in the
+// previous runtime.
+func InlineFastPath(enabled bool) Option {
+	return func(o *core.Options) { o.InlineFastPath = enabled }
+}
+
 // NewEngine starts a scheduler with the given options.
 func NewEngine(opts ...Option) *Engine {
 	o := core.DefaultOptions()
