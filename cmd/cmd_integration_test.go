@@ -155,3 +155,22 @@ func TestPipeserveCmd(t *testing.T) {
 		}
 	}
 }
+
+func TestPipeserveBurstElastic(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "pipeserve")
+	// Bursty multi-tenant traffic against an elastic 1..4 pool with a
+	// small admission budget under the blocking policy. The driver exits
+	// nonzero unless the pool scaled up AND retired back to the floor
+	// (scaled=true), every request was admitted (SubmitWait loses none),
+	// and the engine drained.
+	stdout, _ := run(t, bin,
+		"-p", "1", "-min", "1", "-max", "4", "-burst", "3", "-idle", "30ms",
+		"-retire", "2ms", "-maxpending", "8", "-waitadmit",
+		"-tenants", "4", "-requests", "400", "-cancel", "0.1", "-work", "300")
+	for _, want := range []string{"failures=0", "rejected=0", "drained=true", "scaled=true"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("missing %q in pipeserve burst output:\n%s", want, stdout)
+		}
+	}
+}

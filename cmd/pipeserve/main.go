@@ -12,13 +12,26 @@
 // report the context error, everything else completes, and the
 // scheduler's live-frame gauges return to zero.
 //
+// Elastic/backpressure mode: with -min/-max the engine scales its worker
+// pool with the load, and -burst makes each tenant issue its requests in
+// waves separated by -idle quiet gaps — traffic the driver does not
+// control smoothly, which is exactly what the elastic pool is for. The
+// engine must scale up during a wave and retire back down during the
+// gaps; in that mode the driver fails (exit 1) unless both were observed.
+// -maxpending bounds admitted-but-unfinished pipelines: -waitadmit queues
+// submissions under backpressure (SubmitWait), while without it requests
+// that find the budget full are rejected with ErrSaturated and counted.
+//
 // Usage:
 //
 //	pipeserve -p 8 -tenants 16 -requests 5000 -cancel 0.2
+//	pipeserve -p 1 -min 1 -max 4 -burst 3 -idle 30ms -retire 2ms \
+//	          -maxpending 8 -waitadmit -tenants 4 -requests 400
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +47,14 @@ import (
 
 func main() {
 	var (
-		p        = flag.Int("p", runtime.GOMAXPROCS(0), "scheduler workers")
+		p        = flag.Int("p", runtime.GOMAXPROCS(0), "initial scheduler workers")
+		minW     = flag.Int("min", 0, "elastic pool floor (0: fixed at -p)")
+		maxW     = flag.Int("max", 0, "elastic pool ceiling (0: fixed at -p)")
+		retire   = flag.Duration("retire", 5*time.Millisecond, "idle grace before a surplus worker retires")
+		maxPend  = flag.Int("maxpending", 0, "admission budget: max pending pipelines (0: unlimited)")
+		waitAdm  = flag.Bool("waitadmit", false, "block for admission (SubmitWait) instead of rejecting with ErrSaturated")
+		bursts   = flag.Int("burst", 0, "issue each tenant's requests in this many waves separated by -idle gaps (0: steady)")
+		idleGap  = flag.Duration("idle", 30*time.Millisecond, "quiet gap between bursts")
 		tenants  = flag.Int("tenants", 16, "concurrent tenants (request issuers)")
 		requests = flag.Int("requests", 5000, "total requests across all tenants")
 		inflight = flag.Int("inflight", 64, "max in-flight requests per tenant")
@@ -55,12 +75,35 @@ func main() {
 	if *work < 2 {
 		*work = 2 // the per-request jitter draws from [work/2, work)
 	}
+	if *bursts < 0 {
+		*bursts = 0
+	}
 
-	eng := piper.NewEngine(piper.Workers(*p))
+	opts := []piper.Option{piper.Workers(*p)}
+	if *minW > 0 {
+		opts = append(opts, piper.MinWorkers(*minW))
+	}
+	if *maxW > 0 {
+		opts = append(opts, piper.MaxWorkers(*maxW))
+	}
+	if *minW > 0 || *maxW > 0 {
+		opts = append(opts, piper.RetireAfter(*retire))
+	}
+	if *maxPend > 0 {
+		opts = append(opts, piper.MaxPending(*maxPend))
+	}
+	eng := piper.NewEngine(opts...)
+	// Judge elasticity from the engine's normalized bounds, not the raw
+	// flags: option reconciliation can collapse the requested range into a
+	// fixed pool (e.g. -max at or below the floor), and a fixed pool must
+	// not be held to the scaled-up/scaled-down exit criteria below.
+	norm := eng.Options()
+	elastic := norm.MinWorkers < norm.MaxWorkers
 
 	var (
 		completed atomic.Int64
 		canceled  atomic.Int64
+		rejected  atomic.Int64
 		failures  atomic.Int64
 		latMu     sync.Mutex
 		latencies []time.Duration
@@ -85,47 +128,79 @@ func main() {
 			if tn < *requests%*tenants {
 				quota++
 			}
-			for q := 0; q < quota; q++ {
-				sem <- struct{}{}
-				iters := 4 + int(rng.Intn(12))
-				spin := *work/2 + int64(rng.Intn(int(*work)))
-				doCancel := rng.Float64() < *cancelF
-				cancelAfter := time.Duration(rng.Intn(500)) * time.Microsecond
+			// Burst mode slices the quota into waves; wave boundaries wait
+			// for the tenant's in-flight work and then go quiet, giving
+			// surplus workers their idle grace to retire before the next
+			// flood forces the pool back up.
+			waves := 1
+			if *bursts > 0 {
+				waves = *bursts
+			}
+			for wave := 0; wave < waves; wave++ {
+				n := quota / waves
+				if wave < quota%waves {
+					n++
+				}
+				for q := 0; q < n; q++ {
+					sem <- struct{}{}
+					iters := 4 + int(rng.Intn(12))
+					spin := *work/2 + int64(rng.Intn(int(*work)))
+					doCancel := rng.Float64() < *cancelF
+					cancelAfter := time.Duration(rng.Intn(500)) * time.Microsecond
 
-				ctx, cancel := context.WithCancel(context.Background())
-				var sink atomic.Uint64
-				i := 0
-				t0 := time.Now()
-				h := eng.Submit(ctx, func() bool { i++; return i <= iters }, func(it *piper.Iter) {
-					sink.Add(workload.Spin(spin)) // stage 0: parse serially
-					it.Continue(1)
-					it.Go(func() { sink.Add(workload.Spin(spin)) })
-					sink.Add(workload.Spin(spin)) // stage 1: parallel body
-					it.Sync()
-					it.Wait(2)
-					sink.Add(workload.Spin(spin / 4)) // stage 2: respond in order
-				})
-				tw.Add(1)
-				go func() {
-					defer tw.Done()
-					defer cancel()
-					defer func() { <-sem }()
-					if doCancel {
-						time.Sleep(cancelAfter)
-						cancel()
+					ctx, cancel := context.WithCancel(context.Background())
+					var sink atomic.Uint64
+					i := 0
+					t0 := time.Now()
+					cond := func() bool { i++; return i <= iters }
+					body := func(it *piper.Iter) {
+						sink.Add(workload.Spin(spin)) // stage 0: parse serially
+						it.Continue(1)
+						it.Go(func() { sink.Add(workload.Spin(spin)) })
+						sink.Add(workload.Spin(spin)) // stage 1: parallel body
+						it.Sync()
+						it.Wait(2)
+						sink.Add(workload.Spin(spin / 4)) // stage 2: respond in order
 					}
-					err := h.Wait()
-					record(time.Since(t0))
-					switch {
-					case err == nil:
-						completed.Add(1)
-					case context.Cause(ctx) != nil:
-						canceled.Add(1)
-					default:
-						failures.Add(1)
-						fmt.Fprintf(os.Stderr, "pipeserve: unexpected error: %v\n", err)
+					var h *piper.Handle
+					if *waitAdm {
+						h = eng.SubmitWait(ctx, cond, body)
+					} else {
+						h = eng.Submit(ctx, cond, body)
 					}
-				}()
+					tw.Add(1)
+					go func() {
+						defer tw.Done()
+						defer cancel()
+						defer func() { <-sem }()
+						if doCancel {
+							time.Sleep(cancelAfter)
+							cancel()
+						}
+						err := h.Wait()
+						switch {
+						case err == nil:
+							completed.Add(1)
+							record(time.Since(t0))
+						case errors.Is(err, piper.ErrSaturated):
+							// Rejects resolve in microseconds on the admission
+							// fast path; keeping them out of the histogram
+							// stops them dragging the served-request
+							// percentiles toward zero.
+							rejected.Add(1)
+						case context.Cause(ctx) != nil:
+							canceled.Add(1)
+							record(time.Since(t0))
+						default:
+							failures.Add(1)
+							fmt.Fprintf(os.Stderr, "pipeserve: unexpected error: %v\n", err)
+						}
+					}()
+				}
+				if wave < waves-1 {
+					tw.Wait()
+					time.Sleep(*idleGap)
+				}
 			}
 			tw.Wait()
 		}()
@@ -141,6 +216,19 @@ func main() {
 		s = eng.Stats()
 		drained = s.LiveIterFrames == 0 && s.LiveClosureFrames == 0 && s.LivePipelines == 0
 	}
+	// An elastic pool must also come back down once the traffic stops.
+	scaledDown := true
+	if elastic {
+		scaledDown = false
+		deadline := time.Now().Add(2*time.Second + 10**retire)
+		for !scaledDown && time.Now().Before(deadline) {
+			s = eng.Stats()
+			scaledDown = s.LiveWorkers <= int64(norm.MinWorkers)
+			if !scaledDown {
+				time.Sleep(*retire)
+			}
+		}
+	}
 	eng.Close()
 
 	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
@@ -155,18 +243,30 @@ func main() {
 	fmt.Printf("pipeserve: %d requests over %d tenants on P=%d in %v (%.0f req/s)\n",
 		*requests, *tenants, *p, elapsed.Round(time.Millisecond),
 		float64(*requests)/elapsed.Seconds())
-	fmt.Printf("  completed=%d canceled=%d failures=%d\n",
-		completed.Load(), canceled.Load(), failures.Load())
+	fmt.Printf("  completed=%d canceled=%d rejected=%d failures=%d\n",
+		completed.Load(), canceled.Load(), rejected.Load(), failures.Load())
 	fmt.Printf("  latency p50=%v p95=%v p99=%v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 	fmt.Printf("  submits=%d cancelRequests=%d abortedPipelines=%d abortedIterations=%d\n",
 		s.Submits, s.CancelRequests, s.AbortedPipelines, s.AbortedIterations)
 	fmt.Printf("  iterations=%d steals=%d poolHits=%d poolMisses=%d overflows=%d\n",
 		s.Iterations, s.Steals, s.FramePoolHits, s.FramePoolMisses, s.InjectOverflows)
+	fmt.Printf("  workers live=%d spawns=%d retires=%d\n",
+		s.LiveWorkers, s.WorkerSpawns, s.WorkerRetires)
+	fmt.Printf("  admission saturations=%d waitMs=%.2f pending=%d\n",
+		s.Saturations, float64(s.AdmissionWaitNs)/1e6, s.PendingAdmitted)
 	fmt.Printf("  drained=%v\n", drained)
 
-	if failures.Load() > 0 || !drained ||
-		completed.Load()+canceled.Load() != int64(*requests) {
+	ok := failures.Load() == 0 && drained &&
+		completed.Load()+canceled.Load()+rejected.Load() == int64(*requests)
+	// Elastic burst mode must actually exercise the pool: at least one
+	// scale-up, at least one retire, and a return to the floor.
+	if elastic && *bursts > 0 {
+		scaled := s.WorkerSpawns >= 1 && s.WorkerRetires >= 1 && scaledDown
+		fmt.Printf("  scaled=%v\n", scaled)
+		ok = ok && scaled
+	}
+	if !ok {
 		os.Exit(1)
 	}
 }

@@ -131,6 +131,57 @@ func TestCheckRegression(t *testing.T) {
 	if err := CheckRegression(okFresh, base, "Missing", 15); err == nil {
 		t.Fatal("missing benchmark name passed")
 	}
+
+	// A zero or missing baseline metric must be an error, not a silent
+	// pass: 100*(x-0)/0 is +Inf (or NaN for x=0), and NaN never exceeds
+	// maxPct, so a garbage baseline would wave real regressions through.
+	zeroBase := write("zerobase.json", 0)
+	if err := CheckRegression(badFresh, zeroBase, "X/P1", 15); err == nil {
+		t.Fatal("zero baseline ns_per_op passed the guard")
+	}
+	negBase := write("negbase.json", -5)
+	if err := CheckRegression(badFresh, negBase, "X/P1", 15); err == nil {
+		t.Fatal("negative baseline ns_per_op passed the guard")
+	}
+	// A record present under the guarded name but with the metric field
+	// absent decodes as 0 — the "missing metric" shape of the same bug.
+	missingMetric := filepath.Join(dir, "missingmetric.json")
+	if err := os.WriteFile(missingMetric, []byte(`{"benchmarks":[{"name":"X/P1"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRegression(badFresh, missingMetric, "X/P1", 15); err == nil {
+		t.Fatal("missing baseline metric passed the guard")
+	}
+	// And the fresh side: a bogus (non-positive) fresh reading makes the
+	// drift -100%, which would also pass silently.
+	zeroFresh := write("zerofresh.json", 0)
+	if err := CheckRegression(zeroFresh, base, "X/P1", 15); err == nil {
+		t.Fatal("zero fresh ns_per_op passed the guard")
+	}
+}
+
+func TestElasticitySmall(t *testing.T) {
+	sz := Small()
+	tbl := Elasticity(nil, 2, sz)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want fixed + elastic", len(tbl.Rows))
+	}
+	if tbl.Rows[1][2] == "0" {
+		t.Errorf("elastic config recorded no worker spawns: %v", tbl.Rows[1])
+	}
+	if len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "scale-up latency") {
+		t.Errorf("missing scale-up latency note: %v", tbl.Notes)
+	}
+}
+
+func TestElasticScaleUpRow(t *testing.T) {
+	row := elasticScaleUpRow()
+	if row.Name != elasticRowName {
+		t.Fatalf("row name = %q", row.Name)
+	}
+	if !(row.NsPerOp > 0) {
+		t.Fatalf("scale-up latency = %v, want > 0", row.NsPerOp)
+	}
 }
 
 func TestAdaptiveThrottleSmall(t *testing.T) {

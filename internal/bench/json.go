@@ -160,6 +160,13 @@ func JSONSuite(w io.Writer, filter string) error {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, runJSONBench(r.name, r.perIter, r.mkEngine, r.body))
 	}
+	// The elasticity experiment reports a latency, not a per-op cost, so
+	// it bypasses the testing.Benchmark harness (see elastic.go). Check
+	// the filter before measuring: the CI smoke run filters to a single
+	// microbenchmark and must not pay for burst rounds.
+	if filter == "" || strings.Contains(elasticRowName, filter) {
+		rep.Benchmarks = append(rep.Benchmarks, elasticScaleUpRow())
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -217,8 +224,16 @@ func CheckRegression(freshPath, baselinePath, name string, maxPct float64) error
 	if err != nil {
 		return err
 	}
-	if bb.NsPerOp <= 0 {
-		return fmt.Errorf("baseline %q has non-positive ns_per_op %v", name, bb.NsPerOp)
+	// A zero, missing (decoded as 0), negative, or NaN metric would make
+	// the drift percentage NaN/Inf/negative, which can never exceed
+	// maxPct — real regressions would then pass silently. Refuse to guard
+	// against garbage on either side instead. Note NaN fails every
+	// comparison, so the checks must be written as !(x > 0).
+	if !(bb.NsPerOp > 0) {
+		return fmt.Errorf("baseline %q has non-positive ns_per_op %v; regenerate %s", name, bb.NsPerOp, baselinePath)
+	}
+	if !(fb.NsPerOp > 0) {
+		return fmt.Errorf("fresh report %q has non-positive ns_per_op %v in %s", name, fb.NsPerOp, freshPath)
 	}
 	pct := 100 * (fb.NsPerOp - bb.NsPerOp) / bb.NsPerOp
 	if pct > maxPct {

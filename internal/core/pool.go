@@ -223,6 +223,7 @@ func (e *Engine) acquirePipeline() *pipeline {
 	pl.parent = nil
 	pl.done = nil
 	pl.sub = nil
+	pl.admitted = false
 	pl.abort = nil
 	pl.nextIndex = 0
 	pl.phase = phaseLoop
@@ -251,6 +252,7 @@ func (e *Engine) releasePipeline(pl *pipeline) {
 	pl.parent = nil
 	pl.done = nil
 	pl.sub = nil
+	pl.admitted = false
 	pl.abort = nil
 	pl.prevIter = nil
 	e.pools.pipeline.Put(pl)

@@ -1,0 +1,86 @@
+package core
+
+import "testing"
+
+// TestRunSerialFrameReuseContract is the regression test for the serial
+// frame's per-iteration reset: the one frame RunSerial reuses must present
+// each iteration with acquired-state scheduling fields even when the
+// previous iteration advanced deep into the stage ladder, ran fork-join
+// scope, and started nested pipelines.
+func TestRunSerialFrameReuseContract(t *testing.T) {
+	var order []int64
+	n := int64(0)
+	rep := RunSerial(func() bool { return n < 8 }, func(it *Iter) {
+		n++
+		if got := it.Index(); got != n-1 {
+			t.Fatalf("iteration %d: Index() = %d", n-1, got)
+		}
+		// Stage must reset to 0 despite the previous iteration ending at
+		// stage 7; a stale counter would make checkStageArg reject every
+		// stage the body declares.
+		if got := it.Stage(); got != 0 {
+			t.Fatalf("iteration %d starts at stage %d, want 0", n-1, got)
+		}
+		it.Continue(2)
+
+		// Fork-join scope: serially elided, but it must not leak state
+		// into the next iteration either.
+		ran := 0
+		it.Go(func() { ran++ })
+		it.For(3, 1, func(int) { ran++ })
+		it.Sync()
+		if ran != 4 {
+			t.Fatalf("iteration %d: fork-join elision ran %d children, want 4", n-1, ran)
+		}
+
+		// A nested pipeline in serial mode recurses into RunSerial on a
+		// fresh frame; the outer frame's stage must be untouched after it.
+		before := it.Stage()
+		m := 0
+		it.PipeWhile(func() bool { m++; return m <= 2 }, func(inner *Iter) {
+			if inner.Stage() != 0 {
+				t.Fatalf("nested serial iteration starts at stage %d", inner.Stage())
+			}
+			inner.Wait(1)
+		})
+		if got := it.Stage(); got != before {
+			t.Fatalf("iteration %d: nested pipeline moved outer stage %d -> %d", n-1, before, got)
+		}
+
+		it.Wait(7)
+		order = append(order, it.Index())
+	})
+	if rep.Iterations != 8 || rep.MaxLiveIterations != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for i, idx := range order {
+		if idx != int64(i) {
+			t.Fatalf("iteration order %v", order)
+		}
+	}
+}
+
+// TestRunSerialPanicStateNotSticky: a recovered panic from one RunSerial
+// call must not poison a later call's frame (each call allocates fresh),
+// and a panic mid-iteration surfaces to the caller unchanged.
+func TestRunSerialPanicStateNotSticky(t *testing.T) {
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		i := 0
+		RunSerial(func() bool { i++; return i <= 3 }, func(it *Iter) {
+			if i == 2 {
+				panic("boom")
+			}
+		})
+	}()
+	// The engine-free serial path still works afterwards.
+	i := 0
+	rep := RunSerial(func() bool { i++; return i <= 3 }, func(it *Iter) { it.Continue(1) })
+	if rep.Iterations != 3 {
+		t.Fatalf("iterations = %d, want 3", rep.Iterations)
+	}
+}

@@ -97,6 +97,27 @@ type Stats struct {
 	// engine all three are zero — the leak invariant the cancellation
 	// paths are tested against.
 	LiveIterFrames, LiveClosureFrames, LivePipelines int64
+	// LiveWorkers is the current size of the elastic worker pool, between
+	// Options.MinWorkers and Options.MaxWorkers. Constant (== Workers) on
+	// a fixed-P engine.
+	LiveWorkers int64
+	// WorkerSpawns and WorkerRetires count elastic pool resizes: slots
+	// woken because work was published with the idle set empty (or the
+	// injection rings overflowed), and surplus workers retired after the
+	// idle grace period. Always zero on a fixed-P engine.
+	WorkerSpawns, WorkerRetires int64
+	// Saturations counts admissions that failed against the
+	// Options.MaxPending budget: Submit calls rejected with ErrSaturated
+	// plus SubmitWait calls whose context expired (or engine closed)
+	// before a slot freed.
+	Saturations int64
+	// AdmissionWaitNs is the total time SubmitWait callers spent blocked
+	// waiting for an admission slot, in nanoseconds.
+	AdmissionWaitNs int64
+	// PendingAdmitted is the gauge of admission slots currently held —
+	// top-level submitted pipelines admitted and not yet completed. Zero
+	// when MaxPending is 0 (no budget).
+	PendingAdmitted int64
 }
 
 // statCounters is the atomic backing store inside the engine.
@@ -128,6 +149,10 @@ type statCounters struct {
 	cancelRequests  atomic.Int64
 	abortedIters    atomic.Int64
 	abortedPipes    atomic.Int64
+	workerSpawns    atomic.Int64
+	workerRetires   atomic.Int64
+	saturations     atomic.Int64
+	admissionWaitNs atomic.Int64
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -160,5 +185,9 @@ func (c *statCounters) snapshot() Stats {
 
 		AbortedIterations: c.abortedIters.Load(),
 		AbortedPipelines:  c.abortedPipes.Load(),
+		WorkerSpawns:      c.workerSpawns.Load(),
+		WorkerRetires:     c.workerRetires.Load(),
+		Saturations:       c.saturations.Load(),
+		AdmissionWaitNs:   c.admissionWaitNs.Load(),
 	}
 }

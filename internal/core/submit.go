@@ -42,6 +42,13 @@ import (
 // engine that has already been closed.
 var ErrEngineClosed = errors.New("piper: engine closed")
 
+// ErrSaturated is reported through a Handle when Submit finds the engine's
+// pending-pipeline budget (Options.MaxPending) exhausted. It is the
+// reject admission policy: the caller learns immediately, sheds or retries
+// with its own policy, and no scheduler state was allocated. SubmitWait is
+// the blocking alternative — it never reports ErrSaturated.
+var ErrSaturated = errors.New("piper: engine saturated: pending-pipeline budget exhausted")
+
 // PanicError wraps a panic raised by a pipeline's condition or body (or a
 // fork-join child rethrown at its sync). It is reported through the
 // submitting Handle instead of crossing goroutine boundaries.
@@ -154,9 +161,82 @@ func (e *Engine) Submit(ctx context.Context, cond func() bool, body func(*Iter))
 }
 
 // SubmitThrottled is Submit with an explicit throttling limit K
-// (0 means the engine default).
+// (0 means the engine default). Under a MaxPending budget it applies the
+// reject admission policy: a saturated engine fails the Handle immediately
+// with ErrSaturated.
 func (e *Engine) SubmitThrottled(ctx context.Context, k int, cond func() bool, body func(*Iter)) *Handle {
 	h := &Handle{eng: e, done: make(chan struct{})}
+	admitted := false
+	if e.admitCh != nil {
+		select {
+		case e.admitCh <- struct{}{}:
+			admitted = true
+		default:
+			e.stats.saturations.Add(1)
+			h.err = ErrSaturated
+			close(h.done)
+			return h
+		}
+	}
+	return e.submitAdmitted(ctx, k, cond, body, h, admitted)
+}
+
+// SubmitWait is Submit under the blocking admission policy: if the
+// engine's MaxPending budget is exhausted it blocks until a slot frees
+// instead of rejecting. It returns a failed Handle only if ctx is done
+// first (context-deadline admission — the Handle reports the context's
+// cause) or the engine closes while waiting (ErrEngineClosed). Without a
+// budget (MaxPending 0) it is identical to Submit.
+func (e *Engine) SubmitWait(ctx context.Context, cond func() bool, body func(*Iter)) *Handle {
+	return e.SubmitWaitThrottled(ctx, 0, cond, body)
+}
+
+// SubmitWaitThrottled is SubmitWait with an explicit throttling limit K
+// (0 means the engine default).
+func (e *Engine) SubmitWaitThrottled(ctx context.Context, k int, cond func() bool, body func(*Iter)) *Handle {
+	h := &Handle{eng: e, done: make(chan struct{})}
+	admitted := false
+	if e.admitCh != nil {
+		select {
+		case e.admitCh <- struct{}{}:
+			admitted = true
+		default:
+			// Budget exhausted: block until a completing pipeline releases
+			// a slot, the caller's context is done, or Close releases every
+			// waiter through closingCh. The wait is measured so saturation
+			// pressure is observable (Stats.AdmissionWaitNs).
+			var ctxDone <-chan struct{}
+			if ctx != nil {
+				ctxDone = ctx.Done()
+			}
+			t0 := nowNs()
+			select {
+			case e.admitCh <- struct{}{}:
+				admitted = true
+			case <-ctxDone:
+			case <-e.closingCh:
+			}
+			e.stats.admissionWaitNs.Add(nowNs() - t0)
+			if !admitted {
+				e.stats.saturations.Add(1)
+				if ctx != nil && ctx.Err() != nil {
+					h.err = context.Cause(ctx)
+				} else {
+					h.err = ErrEngineClosed
+				}
+				close(h.done)
+				return h
+			}
+		}
+	}
+	return e.submitAdmitted(ctx, k, cond, body, h, admitted)
+}
+
+// submitAdmitted launches an already-admitted submission. admitted records
+// whether h holds a MaxPending slot; the slot is released by
+// finishTopLevel at completion, or right here if the engine turns out to
+// be closed.
+func (e *Engine) submitAdmitted(ctx context.Context, k int, cond func() bool, body func(*Iter), h *Handle, admitted bool) *Handle {
 	// The read side of submitMu spans the closed check and the inject, so
 	// a Submit racing Close either fails with ErrEngineClosed or has its
 	// root frame published before the closed flag flips — where the
@@ -164,6 +244,9 @@ func (e *Engine) SubmitThrottled(ctx context.Context, k int, cond func() bool, b
 	e.submitMu.RLock()
 	if e.closed.Load() {
 		e.submitMu.RUnlock()
+		if admitted {
+			<-e.admitCh
+		}
 		h.err = ErrEngineClosed
 		close(h.done)
 		return h
@@ -172,6 +255,7 @@ func (e *Engine) SubmitThrottled(ctx context.Context, k int, cond func() bool, b
 	pl := e.newPipeline(k, cond, body, 1)
 	pl.abort = &h.abort
 	pl.sub = h
+	pl.admitted = admitted
 	if ctx != nil {
 		if err := context.Cause(ctx); err != nil {
 			// Canceled before launch: mark the abort now, but still run the
@@ -219,6 +303,12 @@ func (e *Engine) finishTopLevel(pl *pipeline) {
 	if h.stop != nil {
 		h.stop()
 		h.stop = nil
+	}
+	if pl.admitted {
+		// Release the admission slot before publishing completion, so a
+		// SubmitWait caller blocked on the budget is admitted no later
+		// than this handle's Wait returns.
+		<-e.admitCh
 	}
 	e.releasePipeline(pl)
 	close(h.done)

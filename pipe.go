@@ -6,6 +6,14 @@ import "context"
 // background, canceled at stage boundaries if ctx is canceled, and the
 // returned Handle reports completion, the context error, or a captured
 // panic. See Engine.Submit for the cancellation semantics.
+//
+// ErrSaturated contract: on an engine with a MaxPending budget, SubmitPipe
+// follows Submit's reject admission policy — when the budget is exhausted
+// the Handle completes immediately with ErrSaturated, next is never
+// called, and no pipeline state is allocated. Callers that prefer to queue
+// under backpressure use SubmitPipeWait (or Engine.SubmitWait), which
+// never reports ErrSaturated: it blocks for a slot and fails only with the
+// context's error or ErrEngineClosed.
 func SubmitPipe[T any](ctx context.Context, eng *Engine, next func() (T, bool), body func(it *Iter, v T)) *Handle {
 	var (
 		cur T
@@ -16,6 +24,25 @@ func SubmitPipe[T any](ctx context.Context, eng *Engine, next func() (T, bool), 
 		return ok
 	}
 	return eng.Submit(ctx, cond, func(it *Iter) {
+		v := cur // stage 0: capture before the next iteration's cond runs
+		body(it, v)
+	})
+}
+
+// SubmitPipeWait is SubmitPipe under the blocking admission policy: a
+// saturated engine makes the call block until a pending-pipeline slot
+// frees (or ctx is done, or the engine closes) instead of failing the
+// Handle with ErrSaturated. See Engine.SubmitWait.
+func SubmitPipeWait[T any](ctx context.Context, eng *Engine, next func() (T, bool), body func(it *Iter, v T)) *Handle {
+	var (
+		cur T
+		ok  bool
+	)
+	cond := func() bool {
+		cur, ok = next()
+		return ok
+	}
+	return eng.SubmitWait(ctx, cond, func(it *Iter) {
 		v := cur // stage 0: capture before the next iteration's cond runs
 		body(it, v)
 	})

@@ -41,6 +41,8 @@
 package piper
 
 import (
+	"time"
+
 	"piper/internal/core"
 )
 
@@ -69,16 +71,54 @@ type PanicError = core.PanicError
 // closed engine.
 var ErrEngineClosed = core.ErrEngineClosed
 
+// ErrSaturated is reported through a Handle when Submit finds the
+// engine's pending-pipeline budget (MaxPending) exhausted — the reject
+// admission policy. SubmitWait blocks for a slot instead.
+var ErrSaturated = core.ErrSaturated
+
 // PipelineReport summarizes a completed pipeline run.
 type PipelineReport = core.PipelineReport
 
 // Option configures NewEngine.
 type Option func(*core.Options)
 
-// Workers sets the number of scheduling workers P
+// Workers sets the number of scheduling workers P the engine starts with
 // (default runtime.GOMAXPROCS(0)).
 func Workers(p int) Option {
 	return func(o *core.Options) { o.Workers = p }
+}
+
+// MinWorkers sets the floor of the elastic worker pool (default Workers).
+// A surplus worker — live count above the floor — retires after sitting
+// parked for the RetireAfter grace period, returning its core to the
+// host; its residual queued frames transfer to the shared overflow list.
+func MinWorkers(n int) Option {
+	return func(o *core.Options) { o.MinWorkers = n }
+}
+
+// MaxWorkers sets the ceiling of the elastic worker pool (default
+// Workers). The engine spawns workers up to the ceiling when work is
+// published while every live worker is busy, or when the injection rings
+// overflow. MinWorkers == MaxWorkers (the default) disables elasticity
+// entirely: the scheduler is then the paper's fixed-P runtime, with no
+// timers or scale checks on any hot path.
+func MaxWorkers(n int) Option {
+	return func(o *core.Options) { o.MaxWorkers = n }
+}
+
+// RetireAfter sets the idle grace period before a surplus worker retires
+// (default 10ms). Only meaningful when MaxWorkers > MinWorkers.
+func RetireAfter(d time.Duration) Option {
+	return func(o *core.Options) { o.RetireAfter = d }
+}
+
+// MaxPending bounds the number of submitted pipelines admitted and not
+// yet completed — the serving layer's backpressure budget (default 0,
+// unlimited). When the budget is exhausted, Submit rejects immediately
+// (Handle reports ErrSaturated) and SubmitWait blocks until a slot frees,
+// its context is done, or the engine closes.
+func MaxPending(n int) Option {
+	return func(o *core.Options) { o.MaxPending = n }
 }
 
 // Throttle sets the default throttling limit K for pipelines run on the
