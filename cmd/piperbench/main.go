@@ -24,15 +24,15 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig6|fig7|fig8|fig9|thm12|fig10|ablate|adaptive|elastic|all")
+		experiment = flag.String("experiment", "all", "fig6|fig7|fig8|fig9|thm12|fig10|ablate|adaptive|elastic|grain|all")
 		size       = flag.String("size", "small", "small|native")
 		plist      = flag.String("plist", "", "comma-separated worker counts (default 1,2,...,NumCPU)")
 		pmax       = flag.Int("pmax", runtime.NumCPU(), "worker count for single-P experiments")
-		jsonOut    = flag.String("json", "", "write the machine-readable benchmark suite to this file (e.g. BENCH_piper.json) and exit")
+		jsonOut    = flag.String("json", "", "write the machine-readable benchmark suite to this file (e.g. BENCH_piper.json) and exit; a -only filter matching no rows exits nonzero and lists the available names")
 		only       = flag.String("only", "", "with -json: run only benchmarks whose name contains this substring")
-		baseline   = flag.String("baseline", "", "with -json: compare the guarded benchmark against this checked-in report and exit nonzero on regression")
-		guard      = flag.String("guard", "SerialOverheadPerIter/P1", "with -baseline: benchmark name to guard")
-		maxregress = flag.Float64("maxregress", 15, "with -baseline: fail if the guarded benchmark is more than this percent slower")
+		baseline   = flag.String("baseline", "", "with -json: compare the guarded benchmark(s) against this checked-in report and exit nonzero on regression")
+		guard      = flag.String("guard", "SerialOverheadPerIter/P1", "with -baseline: comma-separated benchmark name(s) to guard")
+		maxregress = flag.Float64("maxregress", 15, "with -baseline: fail if a guarded benchmark is more than this percent slower")
 	)
 	flag.Parse()
 
@@ -43,8 +43,26 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
 		if *baseline != "" {
-			if err := bench.CheckRegression(*jsonOut, *baseline, *guard, *maxregress); err != nil {
-				fmt.Fprintf(os.Stderr, "piperbench: benchmark regression: %v\n", err)
+			failed := false
+			checked := 0
+			for _, name := range strings.Split(*guard, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				checked++
+				if err := bench.CheckRegression(*jsonOut, *baseline, name, *maxregress); err != nil {
+					fmt.Fprintf(os.Stderr, "piperbench: benchmark regression: %v\n", err)
+					failed = true
+				}
+			}
+			if checked == 0 {
+				// An empty -guard must not pass as a vacuous success: a CI
+				// step that guards nothing is a misconfiguration.
+				fmt.Fprintf(os.Stderr, "piperbench: -baseline given but -guard %q names no benchmarks\n", *guard)
+				failed = true
+			}
+			if failed {
 				os.Exit(1)
 			}
 		}
@@ -79,9 +97,10 @@ func main() {
 		"ablate":   func() { bench.Ablations(os.Stdout, *pmax, sz) },
 		"adaptive": func() { bench.AdaptiveThrottle(os.Stdout, *pmax, sz) },
 		"elastic":  func() { bench.Elasticity(os.Stdout, *pmax, sz) },
+		"grain":    func() { bench.GrainAblation(os.Stdout, *pmax, sz) },
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig6", "fig7", "fig8", "fig9", "thm12", "fig10", "ablate", "adaptive", "elastic"} {
+		for _, name := range []string{"fig6", "fig7", "fig8", "fig9", "thm12", "fig10", "ablate", "adaptive", "elastic", "grain"} {
 			run[name]()
 		}
 		return

@@ -160,6 +160,43 @@ func TestCheckRegression(t *testing.T) {
 	}
 }
 
+// TestJSONSuiteFilterMatchesNothing pins the -only contract: a filter
+// that selects zero rows must error (naming the available rows) instead
+// of silently writing an empty report, and WriteJSONFile must not leave a
+// truncated artifact behind.
+func TestJSONSuiteFilterMatchesNothing(t *testing.T) {
+	var buf bytes.Buffer
+	err := JSONSuite(&buf, "NoSuchBenchmarkRow")
+	if err == nil {
+		t.Fatal("zero-match filter produced no error")
+	}
+	for _, want := range []string{"NoSuchBenchmarkRow", "SerialOverheadPerIter/P1", "BatchedSerialOverhead/P1", elasticRowName} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteJSONFile(path, "NoSuchBenchmarkRow"); err == nil {
+		t.Fatal("WriteJSONFile accepted a zero-match filter")
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Errorf("zero-match filter left %s behind", path)
+	}
+}
+
+// TestGrainAblationSmall renders the grain table at a tiny size.
+func TestGrainAblationSmall(t *testing.T) {
+	sz := Small()
+	sz.DedupBytes = 128 << 10
+	tbl := GrainAblation(nil, 2, sz)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want Grain(1)/Grain(4)/Grain(16)/adaptive", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "Grain(1)" || tbl.Rows[3][0] != "adaptive" {
+		t.Fatalf("unexpected config column: %v", tbl.Rows)
+	}
+}
+
 func TestElasticitySmall(t *testing.T) {
 	sz := Small()
 	tbl := Elasticity(nil, 2, sz)

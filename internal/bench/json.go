@@ -11,6 +11,7 @@ import (
 
 	"piper"
 	"piper/internal/dedup"
+	"piper/internal/lz"
 	"piper/internal/pipefib"
 	"piper/internal/workload"
 )
@@ -28,16 +29,18 @@ type JSONBenchmark struct {
 	// counters.
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
-	// Steals, Parks, Wakes, PoolHits, PoolMisses, InlineIters and
-	// Promotions are scheduler counter deltas per operation, from
-	// Engine.Stats.
-	Steals      float64 `json:"steals_per_op"`
-	Parks       float64 `json:"parks_per_op"`
-	Wakes       float64 `json:"wakes_per_op"`
-	PoolHits    float64 `json:"pool_hits_per_op"`
-	PoolMisses  float64 `json:"pool_misses_per_op"`
-	InlineIters float64 `json:"inline_iters_per_op"`
-	Promotions  float64 `json:"promotions_per_op"`
+	// Steals, Parks, Wakes, PoolHits, PoolMisses, InlineIters,
+	// Promotions, BatchedIters and BatchSplits are scheduler counter
+	// deltas per operation, from Engine.Stats.
+	Steals       float64 `json:"steals_per_op"`
+	Parks        float64 `json:"parks_per_op"`
+	Wakes        float64 `json:"wakes_per_op"`
+	PoolHits     float64 `json:"pool_hits_per_op"`
+	PoolMisses   float64 `json:"pool_misses_per_op"`
+	InlineIters  float64 `json:"inline_iters_per_op"`
+	Promotions   float64 `json:"promotions_per_op"`
+	BatchedIters float64 `json:"batched_iters_per_op"`
+	BatchSplits  float64 `json:"batch_splits_per_op"`
 }
 
 // JSONReport is the top-level BENCH_piper.json document.
@@ -48,16 +51,19 @@ type JSONReport struct {
 	Benchmarks []JSONBenchmark `json:"benchmarks"`
 }
 
-// statDelta captures counter deltas across a benchmark run.
-func statDelta(before, after piper.Stats, n int) (steals, parks, wakes, hits, misses, inline, promotions float64) {
+// statDelta fills b with the scheduler counter deltas across a benchmark
+// run, per operation.
+func statDelta(b *JSONBenchmark, before, after piper.Stats, n int) {
 	d := float64(n)
-	return float64(after.Steals-before.Steals) / d,
-		float64(after.Parks-before.Parks) / d,
-		float64(after.Wakes-before.Wakes) / d,
-		float64(after.FramePoolHits-before.FramePoolHits) / d,
-		float64(after.FramePoolMisses-before.FramePoolMisses) / d,
-		float64(after.InlineIterations-before.InlineIterations) / d,
-		float64(after.Promotions-before.Promotions) / d
+	b.Steals = float64(after.Steals-before.Steals) / d
+	b.Parks = float64(after.Parks-before.Parks) / d
+	b.Wakes = float64(after.Wakes-before.Wakes) / d
+	b.PoolHits = float64(after.FramePoolHits-before.FramePoolHits) / d
+	b.PoolMisses = float64(after.FramePoolMisses-before.FramePoolMisses) / d
+	b.InlineIters = float64(after.InlineIterations-before.InlineIterations) / d
+	b.Promotions = float64(after.Promotions-before.Promotions) / d
+	b.BatchedIters = float64(after.BatchedIterations-before.BatchedIterations) / d
+	b.BatchSplits = float64(after.BatchSplits-before.BatchSplits) / d
 }
 
 // runJSONBench runs one benchmark body against a dedicated engine and
@@ -85,21 +91,18 @@ func runJSONBench(name string, perIter int, mkEngine func() *piper.Engine, body 
 	if perIter > 0 {
 		div = float64(perIter)
 	}
-	steals, parks, wakes, hits, misses, inline, promotions := statDelta(before, after, r.N)
-	return JSONBenchmark{
+	b := JSONBenchmark{
 		Name:        name,
 		N:           r.N,
 		NsPerOp:     float64(r.NsPerOp()) / div,
 		AllocsPerOp: float64(r.AllocsPerOp()) / div,
 		BytesPerOp:  float64(r.AllocedBytesPerOp()) / div,
-		Steals:      steals / div,
-		Parks:       parks / div,
-		Wakes:       wakes / div,
-		PoolHits:    hits / div,
-		PoolMisses:  misses / div,
-		InlineIters: inline / div,
-		Promotions:  promotions / div,
 	}
+	statDelta(&b, before, after, r.N)
+	for _, f := range []*float64{&b.Steals, &b.Parks, &b.Wakes, &b.PoolHits, &b.PoolMisses, &b.InlineIters, &b.Promotions, &b.BatchedIters, &b.BatchSplits} {
+		*f /= div
+	}
+	return b
 }
 
 // JSONSuite runs the machine-readable benchmark suite — scheduler
@@ -125,6 +128,7 @@ func JSONSuite(w io.Writer, filter string) error {
 	fib := func(e *piper.Engine) { pipefib.Fine(e, 8, 1500) }
 	data := workload.TextStream(1234, 1<<20, 4096, 0.35)
 	dd := func(e *piper.Engine) { _ = dedup.CompressPiper(e, 8, data, io.Discard) }
+	lzBody := func(e *piper.Engine) { _ = lz.Compress(e, 0, data, 16<<10) }
 
 	mk := func(p int, extra ...piper.Option) func() *piper.Engine {
 		return func() *piper.Engine {
@@ -140,13 +144,20 @@ func JSONSuite(w io.Writer, filter string) error {
 	}
 	rows := []row{
 		{"SerialOverheadPerIter/P1", spsIters, mk(1), empty},
+		{"SerialOverheadPerIter/P1/Grain=1", spsIters, mk(1, piper.Grain(1)), empty},
 		{"SerialOverheadPerIter/P1/PoolFrames=false", spsIters, mk(1, piper.PoolFrames(false)), empty},
 		{"SerialOverheadPerIter/P1/InlineFastPath=false", spsIters, mk(1, piper.InlineFastPath(false)), empty},
+		// BatchedSerialOverhead pins the adaptive-grain configuration
+		// explicitly (independent of engine defaults): the guarded metric
+		// for the batching regression smoke.
+		{"BatchedSerialOverhead/P1", spsIters, mk(1, piper.GrainMax(64)), empty},
 		{"SPSPerIter/P2", spsIters, mk(2), sps},
+		{"SPSPerIter/P2/Grain=1", spsIters, mk(2, piper.Grain(1)), sps},
 		{"SPSPerIter/P2/PoolFrames=false", spsIters, mk(2, piper.PoolFrames(false)), sps},
 		{"SPSPerIter/P2/InlineFastPath=false", spsIters, mk(2, piper.InlineFastPath(false)), sps},
 		{"PipeFibFine/P2", 0, mk(2), fib},
 		{"Dedup1MiB/P2", 0, mk(2), dd},
+		{"LZFactor1MiB/P2", 0, mk(2), lzBody},
 	}
 
 	rep := JSONReport{
@@ -154,7 +165,9 @@ func JSONSuite(w io.Writer, filter string) error {
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 	}
+	available := make([]string, 0, len(rows)+1)
 	for _, r := range rows {
+		available = append(available, r.name)
 		if filter != "" && !strings.Contains(r.name, filter) {
 			continue
 		}
@@ -164,8 +177,17 @@ func JSONSuite(w io.Writer, filter string) error {
 	// it bypasses the testing.Benchmark harness (see elastic.go). Check
 	// the filter before measuring: the CI smoke run filters to a single
 	// microbenchmark and must not pay for burst rounds.
+	available = append(available, elasticRowName)
 	if filter == "" || strings.Contains(elasticRowName, filter) {
 		rep.Benchmarks = append(rep.Benchmarks, elasticScaleUpRow())
+	}
+	if len(rep.Benchmarks) == 0 {
+		// A filter that matches nothing would silently write an empty
+		// report — and a regression guard downstream would then fail on a
+		// "missing benchmark" instead of the real mistake. Name the rows
+		// so the caller can fix the filter.
+		return fmt.Errorf("filter %q matches no benchmarks; available: %s",
+			filter, strings.Join(available, ", "))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -182,6 +204,7 @@ func WriteJSONFile(path, filter string) error {
 	}
 	if err := JSONSuite(f, filter); err != nil {
 		f.Close()
+		os.Remove(path) // don't leave a truncated report behind
 		return err
 	}
 	return f.Close()

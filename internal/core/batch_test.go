@@ -1,0 +1,292 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Tests for batched inline execution with grain control: claim/release
+// accounting, the adaptive policy's growth and backoff, split semantics
+// under real suspensions, and the Grain(1) equivalence contract.
+
+func TestGrainNormalization(t *testing.T) {
+	cases := []struct {
+		name       string
+		in         Options
+		grain, max int
+	}{
+		{"defaults-adaptive", Options{Workers: 1}, 0, defaultGrainMax},
+		{"fixed", Options{Workers: 1, Grain: 4}, 4, 4},
+		{"fixed-overrides-max", Options{Workers: 1, Grain: 4, GrainMax: 99}, 4, 4},
+		{"adaptive-capped", Options{Workers: 1, GrainMax: 8}, 0, 8},
+		{"negative-grain", Options{Workers: 1, Grain: -3}, 0, defaultGrainMax},
+	}
+	for _, c := range cases {
+		o := c.in
+		o.normalize()
+		if o.Grain != c.grain || o.GrainMax != c.max {
+			t.Errorf("%s: normalize(%+v) -> Grain=%d GrainMax=%d, want %d/%d",
+				c.name, c.in, o.Grain, o.GrainMax, c.grain, c.max)
+		}
+	}
+}
+
+// TestAdaptiveGrainGrowsWhenAlone: a single worker running an unblocked
+// pipeline has no idle thieves to feed, so the adaptive grain must climb
+// to its ceiling and the bulk of the iterations must execute as
+// deferred-release batch slots.
+func TestAdaptiveGrainGrowsWhenAlone(t *testing.T) {
+	e := newEngineOpts(t, func(o *Options) { o.Workers = 1; o.GrainMax = 16 })
+	const n = 2000
+	i := 0
+	rep := e.RunPipeline(0, func() bool { return i < n }, func(it *Iter) { i++ })
+	if rep.Iterations != n {
+		t.Fatalf("Iterations = %d, want %d", rep.Iterations, n)
+	}
+	if rep.FinalGrain != 16 {
+		t.Errorf("FinalGrain = %d, want the GrainMax ceiling 16", rep.FinalGrain)
+	}
+	s := e.Stats()
+	if s.InlineIterations != n {
+		t.Errorf("InlineIterations = %d, want %d", s.InlineIterations, n)
+	}
+	if s.Promotions != 0 || s.BatchSplits != 0 {
+		t.Errorf("Promotions = %d, BatchSplits = %d, want 0/0 for an unblocked pipeline", s.Promotions, s.BatchSplits)
+	}
+	// With the grain at the ceiling, each 16-slot batch defers 15
+	// releases; allowing for the geometric ramp-up, well over half the
+	// iterations must have been deferred slots.
+	if s.BatchedIterations < n/2 {
+		t.Errorf("BatchedIterations = %d, want >= %d (most iterations batched)", s.BatchedIterations, n/2)
+	}
+	checkEngineDrained(t, e)
+}
+
+// TestGrainOneMatchesUnbatched: Grain(1) must reproduce the unbatched
+// protocol exactly — zero deferred slots, zero splits, and identical
+// output ordering.
+func TestGrainOneMatchesUnbatched(t *testing.T) {
+	e := newEngineOpts(t, func(o *Options) { o.Workers = 2; o.Grain = 1 })
+	var order []int64
+	i := 0
+	rep := e.RunPipeline(0, func() bool { return i < 500 }, func(it *Iter) {
+		i++
+		it.Continue(1)
+		v := it.Index()
+		it.Wait(2)
+		order = append(order, v)
+	})
+	if rep.FinalGrain != 1 {
+		t.Errorf("FinalGrain = %d, want 1", rep.FinalGrain)
+	}
+	s := e.Stats()
+	if s.BatchedIterations != 0 || s.BatchSplits != 0 {
+		t.Errorf("Grain(1) batched: BatchedIterations=%d BatchSplits=%d, want 0/0",
+			s.BatchedIterations, s.BatchSplits)
+	}
+	for k, v := range order {
+		if v != int64(k) {
+			t.Fatalf("order violated at %d: %d", k, v)
+		}
+	}
+	checkEngineDrained(t, e)
+}
+
+// TestFixedGrainBatchesAndOrders: a fixed Grain(8) pipeline with a serial
+// tail stage must batch (most iterations deferred) while preserving the
+// serial-stage ordering invariant bit for bit.
+func TestFixedGrainBatchesAndOrders(t *testing.T) {
+	e := newEngineOpts(t, func(o *Options) { o.Workers = 2; o.Grain = 8 })
+	var order []int64
+	i := 0
+	const n = 800
+	rep := e.RunPipeline(0, func() bool { return i < n }, func(it *Iter) {
+		i++
+		it.Continue(1)
+		v := it.Index()
+		it.Wait(2)
+		order = append(order, v)
+	})
+	if rep.Iterations != n {
+		t.Fatalf("Iterations = %d, want %d", rep.Iterations, n)
+	}
+	if len(order) != n {
+		t.Fatalf("%d outputs, want %d", len(order), n)
+	}
+	for k, v := range order {
+		if v != int64(k) {
+			t.Fatalf("serial stage order violated at %d: %d", k, v)
+		}
+	}
+	if s := e.Stats(); s.BatchedIterations == 0 {
+		t.Error("fixed Grain(8) produced no deferred batch slots")
+	}
+	checkEngineDrained(t, e)
+}
+
+// TestBatchSplitsOnBlockedEdge: iteration 0, claimed as the first slot of
+// a fixed-grain batch, promotes deterministically through a nested
+// pipeline — splitting its batch and performing the deferred control
+// release — and then stalls its promoted stage 1 on a gate. The next
+// batch's first slot therefore finds its cross edge into the still-live
+// iteration 0 unsatisfied and must promote too, splitting a second batch
+// at the cross-edge path; the run must still complete in order. (A slot
+// may not block the claim on raw channels itself: a deferred slot holds
+// the pipe_while continuation, so only piper's own blocking primitives —
+// which promote and split — are batch-safe, mirroring the paper's rule
+// that inter-iteration dependencies go through pipe_wait.)
+func TestBatchSplitsOnBlockedEdge(t *testing.T) {
+	e := newEngineOpts(t, func(o *Options) { o.Workers = 2; o.Grain = 8 })
+	gate := make(chan struct{})
+	go func() {
+		// Open the gate once the cross-edge promotion is observed (bounded
+		// wait: a surprising schedule weakens the test, never hangs it).
+		settles(5*time.Second, func() bool { return e.Stats().Promotions >= 2 })
+		close(gate)
+	}()
+	var order []int64
+	i := 0
+	e.PipeWhile(func() bool { return i < 64 }, func(it *Iter) {
+		i++
+		it.Continue(1)
+		if it.Index() == 0 {
+			j := 0
+			it.PipeWhile(func() bool { j++; return j <= 1 }, func(nit *Iter) { nit.Continue(1) })
+			<-gate // promoted by the nested pipe: blocks only this coroutine
+		}
+		it.Wait(2)
+		order = append(order, it.Index())
+	})
+	for k, v := range order {
+		if v != int64(k) {
+			t.Fatalf("order violated at %d: %d", k, v)
+		}
+	}
+	s := e.Stats()
+	if s.BatchSplits == 0 {
+		t.Error("blocked slots inside batch claims produced no split")
+	}
+	checkEngineDrained(t, e)
+}
+
+// TestBatchAbortMidClaim: a cancellation visible at a batch's claim gate
+// must stop the claim — no further slot starts once the abort flag is
+// published — and every frame must drain back to the pools. Handle.Cancel
+// sets the flag synchronously (unlike a context cancellation, whose
+// AfterFunc delivery the batch may legitimately outrun), so the gated
+// iteration resumes with the abort already observable.
+func TestBatchAbortMidClaim(t *testing.T) {
+	e := newEngineOpts(t, func(o *Options) { o.Workers = 1; o.Grain = 16 })
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	i := 0
+	h := e.Submit(context.Background(), func() bool { i++; return i <= 1<<20 }, func(it *Iter) {
+		if it.Index() == 100 {
+			close(started)
+			<-gate
+		}
+	})
+	<-started
+	h.Cancel()
+	close(gate)
+	if err := h.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	rep, _ := h.Report()
+	// Iteration 100 resumes with the abort flag set; the claim gate runs
+	// before any further slot, so nothing past it may start.
+	if rep.Iterations > 101 {
+		t.Errorf("batch kept claiming after abort: %d iterations started", rep.Iterations)
+	}
+	checkEngineDrained(t, e)
+}
+
+// TestBatchPanicPropagates: a panic inside a deferred batch slot must
+// stop the claim, surface through PipeWhile, and drain.
+func TestBatchPanicPropagates(t *testing.T) {
+	e := newEngineOpts(t, func(o *Options) { o.Workers = 1; o.Grain = 16 })
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		i := 0
+		e.PipeWhile(func() bool { i++; return i <= 1000 }, func(it *Iter) {
+			if it.Index() == 57 {
+				panic("boom at 57")
+			}
+		})
+	}()
+	if rec != "boom at 57" {
+		t.Fatalf("recovered %v, want the iteration panic", rec)
+	}
+	checkEngineDrained(t, e)
+}
+
+// TestBatchRespectsThrottle: batching holds one live frame per claim, so
+// even a large fixed grain must never push the live-iteration peak past
+// the throttling window.
+func TestBatchRespectsThrottle(t *testing.T) {
+	e := newEngineOpts(t, func(o *Options) { o.Workers = 2; o.Grain = 32 })
+	i := 0
+	rep := e.RunPipeline(3, func() bool { return i < 400 }, func(it *Iter) {
+		i++
+		it.Continue(1)
+		it.Wait(2)
+	})
+	if rep.MaxLiveIterations > 3 {
+		t.Fatalf("MaxLiveIterations = %d exceeds K=3 under Grain(32)", rep.MaxLiveIterations)
+	}
+	checkEngineDrained(t, e)
+}
+
+// TestBatchIndexAndStageView: the per-iteration view through the Iter
+// handle (Index, Stage) must be indistinguishable from unbatched
+// execution while the frame is recycled in place across a claim.
+func TestBatchIndexAndStageView(t *testing.T) {
+	e := newEngineOpts(t, func(o *Options) { o.Workers = 1; o.Grain = 8 })
+	i := 0
+	const n = 100
+	var idxErrs, stageErrs int
+	e.PipeWhile(func() bool { return i < n }, func(it *Iter) {
+		want := int64(i)
+		i++
+		if it.Index() != want {
+			idxErrs++
+		}
+		if it.Stage() != 0 {
+			stageErrs++
+		}
+		it.Continue(2)
+		if it.Stage() != 2 {
+			stageErrs++
+		}
+		it.Wait(5)
+		if it.Stage() != 5 {
+			stageErrs++
+		}
+	})
+	if idxErrs != 0 || stageErrs != 0 {
+		t.Fatalf("%d index and %d stage mismatches across batched iterations", idxErrs, stageErrs)
+	}
+	checkEngineDrained(t, e)
+}
+
+// TestInstrumentedPinsGrain: profiled pipelines must run with claim 1 so
+// the work/span accounting chains through real predecessor frames.
+func TestInstrumentedPinsGrain(t *testing.T) {
+	e := newEngineOpts(t, func(o *Options) { o.Workers = 1; o.GrainMax = 32 })
+	i := 0
+	rep := e.ProfilePipeline(0, func() bool { return i < 300 }, func(it *Iter) {
+		i++
+		it.Continue(1)
+		it.Wait(2)
+	})
+	if rep.WorkNs <= 0 || rep.SpanNs <= 0 {
+		t.Fatalf("instrumentation lost under batching: work=%d span=%d", rep.WorkNs, rep.SpanNs)
+	}
+	if s := e.Stats(); s.BatchedIterations != 0 {
+		t.Errorf("BatchedIterations = %d during an instrumented run, want 0", s.BatchedIterations)
+	}
+	checkEngineDrained(t, e)
+}

@@ -17,18 +17,32 @@ import (
 // return the context error or nil, no goroutine may leak, and every frame
 // must drain back to the pools.
 func TestCancelStressRandomized(t *testing.T) {
-	// Both execution tiers: cancellation must behave identically whether
-	// iterations run inline (promoting only on a real suspension) or on
-	// coroutine runners throughout.
-	t.Run("inline", func(t *testing.T) { cancelStressRandomized(t, true) })
-	t.Run("coroutine", func(t *testing.T) { cancelStressRandomized(t, false) })
+	// Both execution tiers, and the batched inline tier at both grain
+	// extremes: cancellation must behave identically whether iterations
+	// run inline (promoting only on a real suspension), on coroutine
+	// runners throughout, one per frame acquisition (Grain 1), or many
+	// per recycled batch frame (fixed Grain 8) — and in every case the
+	// gauge sweep must show the batch-frame state draining back to the
+	// pools after the storm.
+	t.Run("inline", func(t *testing.T) {
+		cancelStressRandomized(t, func(o *Options) {})
+	})
+	t.Run("coroutine", func(t *testing.T) {
+		cancelStressRandomized(t, func(o *Options) { o.InlineFastPath = false })
+	})
+	t.Run("grain1", func(t *testing.T) {
+		cancelStressRandomized(t, func(o *Options) { o.Grain = 1 })
+	})
+	t.Run("batched-g8", func(t *testing.T) {
+		cancelStressRandomized(t, func(o *Options) { o.Grain = 8 })
+	})
 }
 
-func cancelStressRandomized(t *testing.T, inline bool) {
+func cancelStressRandomized(t *testing.T, mutate func(*Options)) {
 	base := goroutineBaseline()
 	opts := DefaultOptions()
 	opts.Workers = 4
-	opts.InlineFastPath = inline
+	mutate(&opts)
 	e := NewEngine(opts)
 
 	const pipelines = 300
@@ -109,15 +123,24 @@ func cancelStressRandomized(t *testing.T, inline bool) {
 // composition the runtime optimizes hardest: nested pipelines and
 // fork-join stages under random cancellation.
 func TestCancelStressNestedForkJoin(t *testing.T) {
-	t.Run("inline", func(t *testing.T) { cancelStressNestedForkJoin(t, true) })
-	t.Run("coroutine", func(t *testing.T) { cancelStressNestedForkJoin(t, false) })
+	t.Run("inline", func(t *testing.T) {
+		cancelStressNestedForkJoin(t, func(o *Options) {})
+	})
+	t.Run("coroutine", func(t *testing.T) {
+		cancelStressNestedForkJoin(t, func(o *Options) { o.InlineFastPath = false })
+	})
+	// The nested pipelines force a split in every claimed batch, driving
+	// the abort paths through the split/release machinery.
+	t.Run("batched-g8", func(t *testing.T) {
+		cancelStressNestedForkJoin(t, func(o *Options) { o.Grain = 8 })
+	})
 }
 
-func cancelStressNestedForkJoin(t *testing.T, inline bool) {
+func cancelStressNestedForkJoin(t *testing.T, mutate func(*Options)) {
 	base := goroutineBaseline()
 	opts := DefaultOptions()
 	opts.Workers = 4
-	opts.InlineFastPath = inline
+	mutate(&opts)
 	e := NewEngine(opts)
 
 	const pipelines = 60

@@ -351,6 +351,69 @@ func TestCloseUnderChurn(t *testing.T) {
 	}
 }
 
+// TestElasticScaleUpShrinksGrain races elastic scale-up against adaptive
+// grain growth. Alone on a MinWorkers=1 engine, a pipeline's grain climbs
+// to its ceiling — there is nobody to starve. A burst of submissions then
+// spawns workers up to MaxWorkers; once the burst drains they sit parked
+// in the idle set, and every subsequent batch open must observe them and
+// shrink the grain back to 1: spawned workers finding the rings and
+// deques empty is precisely the signal that batching is hoarding the
+// stealable continuation. The pipeline must also run to completion even
+// though the burst was injected while the only live worker sat blocked
+// inside a batch (scale-up is what keeps that from deadlocking).
+func TestElasticScaleUpShrinksGrain(t *testing.T) {
+	e := NewEngine(elasticOpts(1, 4, 5*time.Second))
+	defer e.Close()
+
+	const n = 2000
+	reached := make(chan struct{})
+	gate := make(chan struct{})
+	i := 0
+	done := make(chan PipelineReport, 1)
+	go func() {
+		rep := e.RunPipeline(0, func() bool { return i < n }, func(it *Iter) {
+			i++
+			if it.Index() == 600 {
+				close(reached)
+				<-gate
+			}
+		})
+		done <- rep
+	}()
+
+	<-reached
+	if s := e.Stats(); s.BatchedIterations < 300 {
+		t.Errorf("BatchedIterations = %d before the burst, want >= 300 (grain never grew while alone)", s.BatchedIterations)
+	}
+	handles := burstSubmit(e, 20, 1000)
+	for _, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatalf("burst pipeline failed: %v", err)
+		}
+	}
+	if s := e.Stats(); s.WorkerSpawns == 0 {
+		t.Fatalf("burst spawned no workers against a batching pipeline")
+	}
+	// Let the spawned workers finish parking into the idle set, then
+	// release the pipeline: from here every batch open sees idle thieves.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+
+	var rep PipelineReport
+	select {
+	case rep = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline hung after the burst")
+	}
+	if rep.Iterations != n {
+		t.Fatalf("Iterations = %d, want %d", rep.Iterations, n)
+	}
+	if rep.FinalGrain != 1 {
+		t.Errorf("FinalGrain = %d, want 1 (grain must shrink while spawned workers sit idle)", rep.FinalGrain)
+	}
+	checkEngineDrained(t, e)
+}
+
 // TestRetireTransfersResiduals forces frames into a retiring worker's
 // injection ring and checks none are lost: the retire path drains them to
 // the overflow list where the remaining workers find them.

@@ -64,7 +64,35 @@ type Options struct {
 	// iteration then runs on a coroutine runner with a channel handshake
 	// per segment, as in the previous runtime.
 	InlineFastPath bool
+	// Grain fixes the batched inline execution run length G: a worker's
+	// fast path claims up to G consecutive iterations into one control
+	// frame and executes their bodies back-to-back through one pooled
+	// iteration frame, paying one frame acquisition and one deque release
+	// per batch instead of per iteration (see frame.runInlineBatch). The
+	// batch splits at the first iteration that must actually block, so
+	// promotion semantics, cancellation, and serial-stage ordering are
+	// unchanged. Grain(1) reproduces the unbatched per-iteration protocol
+	// exactly. 0 (the default) selects adaptive grain: each pipeline
+	// starts at 1 and grows geometrically up to GrainMax while batches
+	// complete without promotions and no worker sits idle, shrinking when
+	// either signal appears. Only meaningful with InlineFastPath.
+	Grain int
+	// GrainMax caps adaptive grain growth (0 means 64). Ignored when
+	// Grain > 0 fixes the run length.
+	GrainMax int
+
+	// hooks is the test-only schedule-perturbation injection point (see
+	// hooks.go). Always nil on production engines; settable only from
+	// within this package, so the perturbation tests can widen the
+	// interleaving space without exposing scheduling internals.
+	hooks *schedHooks
 }
+
+// defaultGrainMax bounds adaptive grain growth when GrainMax is unset. A
+// full batch serializes G iterations on one worker between control-frame
+// releases, so the ceiling trades amortization against how long the
+// pipe_while continuation stays unstealable.
+const defaultGrainMax = 64
 
 // DefaultOptions returns the paper-faithful configuration.
 func DefaultOptions() Options {
@@ -121,6 +149,16 @@ func (o *Options) normalize() {
 	}
 	if o.MaxPending < 0 {
 		o.MaxPending = 0
+	}
+	if o.Grain < 0 {
+		o.Grain = 0
+	}
+	if o.Grain > 0 {
+		// A fixed grain is its own ceiling, so reports and the adaptive
+		// policy share one invariant: grain never exceeds GrainMax.
+		o.GrainMax = o.Grain
+	} else if o.GrainMax <= 0 {
+		o.GrainMax = defaultGrainMax
 	}
 }
 
@@ -219,6 +257,11 @@ type Engine struct {
 
 	// tracing enables per-segment event capture (see trace.go).
 	tracing atomic.Bool
+
+	// hooks is copied from Options at construction; nil on every
+	// production engine (see hooks.go). Immutable, so the hot-path guard
+	// is one predictable branch.
+	hooks *schedHooks
 }
 
 // NewEngine starts an engine with the given options.
@@ -229,6 +272,7 @@ func NewEngine(opts Options) *Engine {
 		closedCh:  make(chan struct{}),
 		closingCh: make(chan struct{}),
 		canGrow:   opts.elastic(),
+		hooks:     opts.hooks,
 	}
 	if opts.MaxPending > 0 {
 		e.admitCh = make(chan struct{}, opts.MaxPending)
@@ -308,24 +352,23 @@ func (e *Engine) retire(w *worker) bool {
 	// drain is short: the deque is empty in practice (this worker parked
 	// only after a full scan found nothing) and the ring holds at most
 	// injectRingCap racy leftovers.
-	moved := 0
-	transfer := func(f *frame) {
-		e.overflowMu.Lock()
-		e.overflow = append(e.overflow, f)
-		e.overflowN.Add(1)
-		e.overflowMu.Unlock()
-		moved++
-	}
+	var moved []*frame
 	for {
 		f := w.deque.Pop()
 		if f == nil {
 			break
 		}
-		transfer(f)
+		moved = append(moved, f)
 	}
-	w.inbox.Drain(transfer)
+	w.inbox.Drain(func(f *frame) { moved = append(moved, f) })
+	if len(moved) > 0 {
+		e.overflowMu.Lock()
+		e.overflow = append(e.overflow, moved...)
+		e.overflowN.Add(int32(len(moved)))
+		e.overflowMu.Unlock()
+	}
 	e.scaleMu.Unlock()
-	if moved > 0 {
+	if len(moved) > 0 {
 		e.signal()
 	}
 	return true
@@ -433,6 +476,10 @@ type PipelineReport struct {
 	// FinalThrottle is the throttling limit at completion (interesting
 	// only for RunPipelineAdaptive).
 	FinalThrottle int64
+	// FinalGrain is the batched-execution run length G at completion: the
+	// fixed Options.Grain, or where the adaptive policy settled (see
+	// frame.runInlineBatch). 1 for serial and coroutine-tier runs.
+	FinalGrain int64
 	// WorkNs and SpanNs are the measured work T1 and span T∞ of the
 	// pipeline dag in nanoseconds, populated only by ProfilePipeline
 	// (the Cilkview analogue; see instrument.go for the measurement
@@ -571,6 +618,12 @@ func (e *Engine) newPipeline(k int, cond func() bool, body func(*Iter), depth in
 // workers are not draining their rings fast enough, so an elastic engine
 // wakes another slot.
 func (e *Engine) inject(f *frame) {
+	if h := e.hooks; h != nil && h.forceOverflow != nil && h.forceOverflow() {
+		// Perturbation: skip the rings and take the overflow spill path, as
+		// if every live ring were full.
+		e.spillOverflow(f)
+		return
+	}
 	n := uint32(len(e.workers))
 	start := e.injectRR.Add(1)
 	for i := uint32(0); i < n; i++ {
@@ -584,6 +637,15 @@ func (e *Engine) inject(f *frame) {
 			return
 		}
 	}
+	e.spillOverflow(f)
+}
+
+// spillOverflow publishes an injected root frame through the mutex-guarded
+// overflow list — the every-ring-full fallback, also a scale-up trigger
+// (the live workers are not draining their rings fast enough). Shared by
+// the real full-ring path and the forceOverflow perturbation hook so the
+// two can never drift apart.
+func (e *Engine) spillOverflow(f *frame) {
 	e.overflowMu.Lock()
 	e.overflow = append(e.overflow, f)
 	e.overflowN.Add(1)
@@ -972,6 +1034,18 @@ func (w *worker) stealFrom(v *worker) *frame {
 // because no polling timer will paper over a missed victim.
 func (w *worker) pollWork() *frame {
 	e := w.eng
+	if h := e.hooks; h != nil {
+		if h.point != nil {
+			h.point(hookPollWork)
+		}
+		if h.stealFirst != nil && h.stealFirst() {
+			// Perturbation: raid the other shards before the local deque,
+			// scrambling the LIFO owner order the scheduler prefers.
+			if f := w.stealSweep(); f != nil {
+				return f
+			}
+		}
+	}
 	if f := w.deque.Pop(); f != nil {
 		return f
 	}
@@ -981,6 +1055,13 @@ func (w *worker) pollWork() *frame {
 	if f := e.popOverflow(); f != nil {
 		return f
 	}
+	return w.stealSweep()
+}
+
+// stealSweep visits every victim exactly once from a random starting
+// offset, returning the first frame raided.
+func (w *worker) stealSweep() *frame {
+	e := w.eng
 	if n := len(e.workers); n > 1 {
 		start := int(w.rng.Intn(n))
 		for round := 0; round < n; round++ {

@@ -7,13 +7,19 @@
 // (fork-join tasks). Execution is two-tier:
 //
 // Tier 1 — inline. A worker first drives an iteration as a direct
-// function call on its own stack (runInline): stage bodies run in a loop,
-// each Wait checking its cross edge with a plain atomic load, with no
-// runner goroutine and no channel handshake anywhere. This mirrors the
+// function call on its own stack (runInlineBatch): stage bodies run in a
+// loop, each Wait checking its cross edge with a plain atomic load, with
+// no runner goroutine and no channel handshake anywhere. This mirrors the
 // paper's core property — iterations execute greedily and stall only when
 // a cross-edge dependency is actually unsatisfied — so the common case
 // (the edge is satisfied, which throttling and the serial stage-0
 // discipline make overwhelmingly likely) pays only function-call cost.
+// The fast path additionally claims runs of up to G consecutive
+// iterations into one control frame (grain control, Options.Grain): the
+// batch executes their bodies back-to-back through one recycled frame
+// with one deque release for the whole run, amortizing the fixed
+// per-iteration scheduling cost, and splits at the first iteration that
+// must actually block so every blocking path below is unchanged.
 //
 // Tier 2 — promoted. Only when an iteration must actually block — an
 // unsatisfied cross edge, a fork-join sync on stolen children, a nested
@@ -123,6 +129,13 @@ type frame struct {
 	// worker's goroutine (tier 1). Runner-local; cleared by promotion or at
 	// inline completion.
 	inline bool
+	// batched is true while the iteration runs as a deferred-release slot
+	// of an inline batch claim: the control frame's release at the stage-0
+	// exit is postponed to the batch's final slot, so the batch pays one
+	// deque release instead of one per iteration (see runInlineBatch).
+	// Runner-local; cleared at slot completion or by promotion, which
+	// performs the deferred release itself.
+	batched bool
 	// refs counts reasons the frame cannot yet be recycled: the
 	// scheduler's ownership plus the successor chain's prev reference
 	// (see pool.go for the full discipline).
@@ -239,8 +252,8 @@ func (f *frame) runOnce() {
 // pipeline panic state. An abortUnwind sentinel (a cancel observed at a
 // stage boundary) exits through the same path without recording a panic.
 // Shared by the coroutine runner (runOnce) and the inline fast path
-// (runInline), so cancellation and panic capture behave identically in
-// both execution tiers.
+// (runInlineBatch), so cancellation and panic capture behave identically
+// in both execution tiers.
 func (f *frame) runBody() {
 	defer func() {
 		if r := recover(); r != nil {
@@ -292,32 +305,126 @@ const (
 	inlinePromoted
 )
 
-// runInline executes the whole iteration body as a direct call on the
-// worker's goroutine — the tier-1 fast path: no runner goroutine, no
-// channel handshake, just stage bodies separated by cross-edge checks.
-// Wait and Continue detect the inline mode through f.inline and promote
-// (see promote) only if the iteration must actually block.
-func (f *frame) runInline(w *worker) inlineResult {
+// runInlineBatch executes a claimed run of up to claim consecutive
+// iterations of f's pipeline back-to-back on f — the tier-1 fast path at
+// batch granularity: no runner goroutine, no channel handshake, just
+// stage bodies separated by cross-edge checks. The first iteration is
+// already materialized in f by the control frame's step; each later claim
+// slot re-evaluates the loop condition and recycles f in place
+// (resetBatchIter), so the whole run pays one frame acquisition, one
+// successor-chain link, one throttle token, and at most one deque release
+// of the control frame. Only the final slot runs the plain release
+// protocol; earlier slots defer it (f.batched), keeping the pipe_while
+// continuation on this worker so the next body starts with no scheduler
+// traffic at all. Wait and Continue detect the inline mode through
+// f.inline and promote (see promote) only if an iteration must actually
+// block — promotion performs the deferred release and abandons the
+// residual claim, splitting the batch, so promotion semantics,
+// cancellation unwinding, and serial-stage ordering are exactly those of
+// the unbatched protocol, which claim == 1 reproduces bit for bit.
+func (f *frame) runInlineBatch(w *worker, claim int64) inlineResult {
+	e := f.eng
+	pl := f.pl
 	f.w = w
-	f.inline = true
-	f.eng.stats.inlineIters.Add(1)
-	f.runBody()
-	f.finishIter()
-	if f.inline {
+	var started, deferred int64
+	flush := func() {
+		e.stats.inlineIters.Add(started)
+		if started > 1 {
+			// The first slot was counted by newIter; the in-batch ones
+			// bypassed it.
+			e.stats.iterations.Add(started - 1)
+		}
+		if deferred > 0 {
+			e.stats.batchedIters.Add(deferred)
+		}
+	}
+	for {
+		claim--
+		f.batched = claim > 0
+		f.inline = true
+		started++
+		f.runBody()
+		f.finishIter()
+		if !f.inline {
+			// Promoted mid-body: this goroutine is the frame's runner now,
+			// and a driver (the takeover goroutine or whichever worker
+			// resumed us last) is blocked on the yield channel. Hand it the
+			// retired frame and unwind; unlike a pooled corun runner we do
+			// not park for reuse — the tail detaches at the frame's last
+			// unref and the next incarnation starts inline again.
+			flush()
+			f.co.yield <- yieldMsg{kind: yDone}
+			return inlinePromoted
+		}
 		f.inline = false
-		if f.inStage0 {
+		if f.batched {
+			f.batched = false
+			deferred++
+		} else if !f.inStage0 {
+			// Final slot, and it released the control frame at its stage-0
+			// exit: a thief may be stepping the pipeline right now, so the
+			// caller must unwind to the worker loop.
+			flush()
+			return inlineDoneReleased
+		}
+		// The control frame is still ours — a deferred-release slot
+		// completed, or the body never left stage 0. Take the next slot,
+		// applying the same gates the step loop would: nothing starts
+		// after an abort or panic, and the loop condition (part of the
+		// next iteration's serial stage 0) runs exactly once per started
+		// iteration.
+		if claim <= 0 || pl.panicked() || pl.abortRequested() {
+			flush()
 			return inlineDoneOwned
 		}
-		return inlineDoneReleased
+		e.hookAt(hookBatchSlot)
+		if !pl.safeCond() {
+			// Record the exhausted loop so step does not evaluate the
+			// condition again (it may consume input).
+			pl.phase = phaseDrain
+			flush()
+			return inlineDoneOwned
+		}
+		f.resetBatchIter()
 	}
-	// Promoted mid-body: this goroutine is the frame's runner now, and a
-	// driver (the takeover goroutine or whichever worker resumed us last)
-	// is blocked on the yield channel. Hand it the retired frame and
-	// unwind; unlike a pooled corun runner we do not park for reuse — the
-	// tail detaches at the frame's last unref and the next incarnation
-	// starts inline again.
-	f.co.yield <- yieldMsg{kind: yDone}
-	return inlinePromoted
+}
+
+// resetBatchIter recycles f in place for the next claimed slot of an
+// inline batch. The batch still holds the control frame, so no successor
+// frame exists and nothing outside this goroutine can observe the
+// non-atomic resets; the predecessor reference was already dropped by the
+// previous slot's finishIter, which is also why the new slot's cross
+// edges are all vacuously satisfied (prev == nil). Mirrors
+// acquireIterFrame's per-incarnation reset minus the pool, refcount, and
+// chain traffic the batch amortizes away; the instrumentation fields are
+// untouched because openBatch pins instrumented (and traced) pipelines to
+// claim == 1.
+func (f *frame) resetBatchIter() {
+	pl := f.pl
+	f.index = pl.nextIndex
+	pl.nextIndex++
+	f.stage.Store(0)
+	f.status.Store(statusRunning)
+	f.waitStage.Store(0)
+	f.inStage0 = true
+	f.foldCache = 0
+	f.nFoldHits, f.nCrossChecks = 0, 0
+	f.curScope = nil
+	f.panicked = nil
+}
+
+// leaveStage0Inline ends the serial stage-0 prefix of an inline
+// iteration. A deferred-release batch slot only marks the exit — the
+// control frame stays with the batch, which itself runs the next
+// iteration's stage 0, in order — while an unbatched iteration (or a
+// batch's final slot) makes the pipe_while continuation stealable
+// immediately through releaseControl.
+func (f *frame) leaveStage0Inline() {
+	if f.batched {
+		f.inStage0 = false
+		return
+	}
+	f.releaseControl()
 }
 
 // promote converts a running inline iteration into a full coroutine frame
@@ -339,9 +446,19 @@ func (f *frame) promote() {
 	w := f.w
 	e := f.eng
 	e.stats.promotions.Add(1)
-	if f.inStage0 {
-		// Blocking at the stage-0 exit itself: hand the control frame to
-		// the deque first so the pipeline keeps unfolding while we park.
+	if f.batched || f.inStage0 {
+		// The control frame is still frozen below us — an unreleased
+		// stage-0 prefix, or a batch slot that deferred its release — so
+		// hand it to the deque first and the pipeline keeps unfolding
+		// while we park. A blocked slot also ends its batch (the residual
+		// claim is abandoned by runInlineBatch) and backs the adaptive
+		// grain off, both while the control frame is still exclusively
+		// ours.
+		if f.batched {
+			f.batched = false
+			e.stats.batchSplits.Add(1)
+		}
+		f.pl.grainOnSplit()
 		f.releaseControl()
 	}
 	f.inline = false
@@ -359,13 +476,14 @@ func (f *frame) promote() {
 // i+1's stage 0. This is the inline analogue of the yLeftStage0/ySpawn
 // handoff: the continuation becomes stealable and the worker keeps the
 // child, preserving the spawned-child-first discipline. The frozen step
-// invocation learns of the release through runInline's result and unwinds
-// without touching the pipeline again.
+// invocation learns of the release through runInlineBatch's result and
+// unwinds without touching the pipeline again.
 func (f *frame) releaseControl() {
 	f.inStage0 = false
 	w := f.w
 	w.assigned.Store(f)
 	w.pushWork(f.pl.control)
+	f.eng.hookAt(hookReleaseControl)
 }
 
 // abortCheck unwinds the iteration if its submission has been canceled.

@@ -221,11 +221,14 @@ func FuzzPipelineSchedule(f *testing.F) {
 		}
 
 		// Differential runs across the scheduler configuration matrix: the
-		// paper-faithful default (inline fast path + pooling), the fully
-		// ablated runtime (eager enabling, no tail swap, no dependency
-		// folding, allocate-per-use frames, always-coroutine execution),
-		// and both execution tiers crossed with PoolFrames=false — the
-		// promotion and recycling paths must agree with the oracle under
+		// paper-faithful default (inline fast path + pooling + adaptive
+		// grain), the fully ablated runtime (eager enabling, no tail swap,
+		// no dependency folding, allocate-per-use frames, always-coroutine
+		// execution), both execution tiers crossed with PoolFrames=false,
+		// and the batching extremes — unbatched Grain(1), a fixed G=4
+		// claim, and a tight adaptive ceiling that forces the grow/shrink
+		// policy to act within small programs. The promotion, recycling,
+		// and batch split/defer paths must agree with the oracle under
 		// every combination.
 		ablated := DefaultOptions()
 		ablated.EagerEnabling = true
@@ -237,6 +240,12 @@ func FuzzPipelineSchedule(f *testing.F) {
 		inlineNoPool.PoolFrames = false
 		coroutinePooled := DefaultOptions()
 		coroutinePooled.InlineFastPath = false
+		grain1 := DefaultOptions()
+		grain1.Grain = 1
+		grain4 := DefaultOptions()
+		grain4.Grain = 4
+		adaptiveTight := DefaultOptions()
+		adaptiveTight.GrainMax = 4
 		for _, cfg := range []struct {
 			name string
 			opts Options
@@ -245,6 +254,9 @@ func FuzzPipelineSchedule(f *testing.F) {
 			{"ablated", ablated},
 			{"inline-nopool", inlineNoPool},
 			{"coroutine-pooled", coroutinePooled},
+			{"grain1", grain1},
+			{"grain4", grain4},
+			{"adaptive-g4", adaptiveTight},
 		} {
 			got := runFuzzProgram(t, p, cfg.opts)
 			for i := range want {

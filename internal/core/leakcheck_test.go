@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -44,6 +46,47 @@ func checkEngineDrained(t testing.TB, e *Engine) {
 		s := e.Stats()
 		t.Errorf("engine not drained: %d live iteration frames, %d live closure frames, %d live pipelines",
 			s.LiveIterFrames, s.LiveClosureFrames, s.LivePipelines)
+	}
+}
+
+// TestGaugesDrainAcrossGrainTiers is the gauge sweep over the batched
+// execution tiers: a cancel storm against Grain(1), a fixed batch claim,
+// and the adaptive default must all drain the live-frame gauges to zero —
+// including frames that were mid-claim (recycling in place across batch
+// slots) when their submission aborted.
+func TestGaugesDrainAcrossGrainTiers(t *testing.T) {
+	for _, cfg := range []struct {
+		name  string
+		grain int
+	}{{"grain1", 1}, {"batched-g8", 8}, {"adaptive", 0}} {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Workers = 2
+			opts.Grain = cfg.grain
+			e := NewEngine(opts)
+			defer e.Close()
+			var wg sync.WaitGroup
+			for q := 0; q < 60; q++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				i := 0
+				h := e.Submit(ctx, func() bool { i++; return i <= 64 }, func(it *Iter) {
+					it.Continue(1)
+					it.Wait(2)
+				})
+				wg.Add(1)
+				go func(q int) {
+					defer wg.Done()
+					defer cancel()
+					if q%2 == 0 {
+						cancel() // half the storm aborts mid-claim
+					}
+					_ = h.Wait()
+				}(q)
+			}
+			wg.Wait()
+			checkEngineDrained(t, e)
+		})
 	}
 }
 

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"piper/internal/workload"
+)
+
+// Schedule-perturbation tests: seeded random delays and forced scheduling
+// decisions injected at the schedHooks points (see hooks.go) widen the
+// interleaving space the differential comparison explores. Batching
+// changes *which* interleavings occur — deferred control releases remove
+// steal opportunities, splits reintroduce them at new places — so the
+// perturbed matrix runs the same oracle programs over Grain(1), adaptive
+// grain, and the coroutine tier (InlineFastPath off), plus a forced
+// injection-overflow storm, and requires bit-identical results, intact
+// serial-stage ordering, and a fully drained engine every time.
+
+// newPerturber builds a seeded hook set. The hook functions are called
+// concurrently from every worker goroutine, so the RNG is mutex-guarded —
+// the lock itself is one more (harmless) perturbation source.
+func newPerturber(seed uint64) *schedHooks {
+	var mu sync.Mutex
+	rng := workload.NewRNG(seed)
+	roll := func(n int) int {
+		mu.Lock()
+		v := rng.Intn(n)
+		mu.Unlock()
+		return v
+	}
+	return &schedHooks{
+		point: func(p hookPoint) {
+			switch roll(16) {
+			case 0:
+				// Stretch the window: long enough to let a racing worker
+				// run, short enough to keep the matrix fast.
+				time.Sleep(time.Duration(1+roll(20)) * time.Microsecond)
+			case 1, 2:
+				runtime.Gosched()
+			}
+			if p == hookParkPublish && roll(4) == 0 {
+				// The publish-then-recheck window is where wakers race the
+				// parking frame; hit it harder than the other points.
+				runtime.Gosched()
+			}
+		},
+		forceOverflow: func() bool { return roll(8) == 0 },
+		stealFirst:    func() bool { return roll(4) == 0 },
+	}
+}
+
+// perturbPrograms are fixed oracle programs (decoded through the fuzz
+// harness's decoder) covering cross edges, skipped stages, fork-join,
+// nesting, and the degenerate empty pipeline.
+func perturbPrograms() []fuzzProgram {
+	inputs := [][]byte{
+		{},
+		{2, 3, 24, 3, fopWait, 1, fopFork, 2, fopContinue, 0},
+		{1, 0, 20, 3, fopWait, 2, fopCompute, 7, fopWait, 0},
+		{3, 7, 24, 4, fopContinue, 0, fopNested, 2, fopWait, 1, fopFork, 0},
+		{0, 1, 24, 5, fopWait, 2, fopContinue, 2, fopWait, 0, fopWait, 1, fopCompute, 3},
+		{3, 2, 24, 2, fopFork, 2, fopWait, 1, fopNested, 1, fopWait, 2},
+	}
+	ps := make([]fuzzProgram, 0, len(inputs))
+	for _, in := range inputs {
+		ps = append(ps, decodeProgram(in))
+	}
+	return ps
+}
+
+// TestSchedulePerturbationMatrix is the perturbed differential matrix:
+// every program must reproduce its sequential oracle bit for bit under
+// every configuration and seed, with the serial-stage ordering invariant
+// checked on the fly by runFuzzProgram.
+func TestSchedulePerturbationMatrix(t *testing.T) {
+	grain1 := DefaultOptions()
+	grain1.Grain = 1
+	adaptive := DefaultOptions()
+	adaptive.GrainMax = 8
+	coroutine := DefaultOptions()
+	coroutine.InlineFastPath = false
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"grain1", grain1},
+		{"adaptive", adaptive},
+		{"coroutine", coroutine},
+	}
+	programs := perturbPrograms()
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				for pi, p := range programs {
+					want := make([]uint64, len(p.iters))
+					for i := range want {
+						want[i] = oracleIteration(p, i)
+					}
+					opts := cfg.opts
+					opts.hooks = newPerturber(seed*0x9e37 + uint64(pi))
+					got := runFuzzProgram(t, p, opts)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("program %d seed %d iteration %d: engine produced %#x, oracle %#x",
+								pi, seed, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPerturbedOverflowStorm forces every root injection onto the
+// overflow spill path while submissions race worker wakeups: no pipeline
+// may be lost or double-run, and the engine must drain.
+func TestPerturbedOverflowStorm(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 3
+	opts.hooks = &schedHooks{forceOverflow: func() bool { return true }}
+	e := NewEngine(opts)
+	defer e.Close()
+
+	const pipes = 80
+	var total atomic.Int64
+	handles := make([]*Handle, 0, pipes)
+	for q := 0; q < pipes; q++ {
+		i := 0
+		h := e.Submit(nil, func() bool { i++; return i <= 4 }, func(it *Iter) {
+			it.Continue(1)
+			total.Add(1)
+		})
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatalf("overflow-path pipeline failed: %v", err)
+		}
+	}
+	if got := total.Load(); got != pipes*4 {
+		t.Fatalf("ran %d iterations, want %d (lost or duplicated root frames)", got, pipes*4)
+	}
+	s := e.Stats()
+	if s.InjectOverflows != pipes {
+		t.Errorf("InjectOverflows = %d, want %d (every inject forced to spill)", s.InjectOverflows, pipes)
+	}
+	checkEngineDrained(t, e)
+}
+
+// TestPerturbedCancelChurn mixes the perturbation hooks with submission
+// cancellation across the batched and unbatched tiers: aborted batches
+// must drain to the pools like everything else.
+func TestPerturbedCancelChurn(t *testing.T) {
+	for _, cfg := range []struct {
+		name  string
+		grain int
+	}{{"grain1", 1}, {"adaptive", 0}} {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Workers = 2
+			opts.Grain = cfg.grain
+			opts.hooks = newPerturber(0xabcdef)
+			e := NewEngine(opts)
+			defer e.Close()
+			var wg sync.WaitGroup
+			for q := 0; q < 40; q++ {
+				i := 0
+				h := e.Submit(nil, func() bool { i++; return i <= 50 }, func(it *Iter) {
+					it.Continue(1)
+					it.Wait(2)
+				})
+				wg.Add(1)
+				go func(q int) {
+					defer wg.Done()
+					if q%3 == 0 {
+						h.Cancel()
+					}
+					_ = h.Wait()
+				}(q)
+			}
+			wg.Wait()
+			checkEngineDrained(t, e)
+		})
+	}
+}

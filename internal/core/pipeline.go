@@ -53,6 +53,17 @@ type pipeline struct {
 	phase    int8
 	prevIter *frame
 
+	// Batched inline execution (see frame.runInlineBatch). All four words
+	// are control-frame state like phase: serialized by frame ownership,
+	// so the adaptive policy needs no atomics. grain is the current run
+	// length G a batch claims; grainHold suppresses the next growth step
+	// (set at acquisition, so a fresh pipeline probes at its starting
+	// grain, and by grainOnSplit after a promotion ended a batch early).
+	grain      int64
+	grainMax   int64
+	grainFixed bool
+	grainHold  bool
+
 	// Work/span instrumentation (see instrument.go).
 	instrument bool
 	workNs     atomic.Int64
@@ -152,7 +163,7 @@ func (it *Iter) Wait(j int64) {
 			// stage j's user code in that case.
 			f.abortCheck()
 		} else if f.inStage0 {
-			f.releaseControl()
+			f.leaveStage0Inline()
 		}
 		f.instrBeginNode(true, j)
 		return
@@ -190,7 +201,7 @@ func (it *Iter) Continue(j int64) {
 	f.advance(j)
 	if f.inline {
 		if f.inStage0 {
-			f.releaseControl()
+			f.leaveStage0Inline()
 		}
 		f.instrBeginNode(false, j)
 		return
@@ -219,6 +230,7 @@ func (f *frame) parkOnCross(j int64) {
 	for {
 		f.waitStage.Store(j)
 		f.status.Store(statusWaitCross)
+		f.eng.hookAt(hookParkPublish)
 		if f.crossSatisfiedSlow(j) {
 			if f.status.CompareAndSwap(statusWaitCross, statusRunning) {
 				return
@@ -330,17 +342,21 @@ func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 				pl.eng.stats.throttleShrinks.Add(1)
 			}
 
+			pl.eng.hookAt(hookIteration)
 			it := pl.newIter(pl.prevIter)
 			pl.prevIter = it
 			// Drive the iteration from here; stage 0 runs serially in
 			// iteration order, exactly as the pipe_while transformation in
 			// the paper prescribes.
 			if pl.eng.opts.InlineFastPath {
-				// Tier-1 fast path: run the whole body as a direct call on
-				// this goroutine. The body releases this control frame to
-				// the deque at its stage-0 exit (thieves pick it up to run
-				// iteration i+1's stage 0) and promotes to a coroutine
-				// frame only if it must block — after either event this
+				// Tier-1 fast path: claim a batch of up to openBatch()
+				// consecutive iterations and run their bodies as direct
+				// calls on this goroutine, all through the one frame just
+				// acquired. The batch's final slot releases this control
+				// frame to the deque at its stage-0 exit (thieves pick it
+				// up to run the next iteration's stage 0), and any slot
+				// that must block promotes to a coroutine frame and
+				// performs that release itself — after either event this
 				// step invocation no longer owns the pipeline and must
 				// unwind through the returned message without touching it.
 				tracing := pl.eng.tracing.Load()
@@ -348,12 +364,13 @@ func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 				if tracing {
 					traceStart = nowNs()
 				}
-				switch it.runInline(w) {
+				switch it.runInlineBatch(w, pl.openBatch()) {
 				case inlineDoneOwned:
-					// The whole body was stage 0 (or it panicked or
-					// aborted there): retire inline. The chain slot
-					// (pl.prevIter) keeps its reference until the next
-					// iteration links past it.
+					// The batch ran to completion without releasing the
+					// control frame (its final body never left stage 0, or
+					// the loop exhausted/aborted mid-claim): retire the
+					// frame inline. The chain slot (pl.prevIter) keeps its
+					// reference until the next iteration links past it.
 					w.traceSegment(tracing, kindIter, it.index, traceStart)
 					pl.join.Add(-1)
 					it.unref()
@@ -400,6 +417,63 @@ func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 		pl.releaseChain()
 		return yieldMsg{kind: yDone}
 	}
+}
+
+// openBatch runs the per-batch grain adaptation step and returns the
+// claim length for the next inline batch. Called by step with
+// control-frame ownership, once per batch. The policy: grow geometrically
+// (×2, up to grainMax) while batches complete without a split and no
+// worker sits idle, and shrink (÷2) as soon as idle workers appear —
+// idle thieves mean the pipeline should be releasing its stealable
+// continuation more often, not less, so batching must never starve
+// parallelism to buy amortization. Instrumented and traced runs pin the
+// claim to 1: per-node work/span accounting chains critical paths through
+// real predecessor frames, and trace consumers expect one segment per
+// iteration.
+func (pl *pipeline) openBatch() int64 {
+	g := pl.grain
+	if pl.instrument || pl.eng.tracing.Load() {
+		return 1
+	}
+	if pl.grainFixed {
+		return g
+	}
+	if pl.eng.idle.Load() > 0 {
+		if g > 1 {
+			g >>= 1
+			pl.grain = g
+		}
+		pl.grainHold = false
+		return g
+	}
+	if pl.grainHold {
+		pl.grainHold = false
+		return g
+	}
+	if g < pl.grainMax {
+		g <<= 1
+		if g > pl.grainMax {
+			g = pl.grainMax
+		}
+		pl.grain = g
+	}
+	return g
+}
+
+// grainOnSplit backs the adaptive grain off after a promotion that ended
+// a batch early (or blocked an unreleased stage-0 prefix): the pipeline
+// is hitting real suspensions, so long claims would keep splitting while
+// holding the continuation hostage. Called from promote with the control
+// frame still owned by the promoting goroutine, which is what makes the
+// unsynchronized grain write safe.
+func (pl *pipeline) grainOnSplit() {
+	if pl.grainFixed {
+		return
+	}
+	if g := pl.grain; g > 1 {
+		pl.grain = g >> 1
+	}
+	pl.grainHold = true
 }
 
 // releaseChain drops the pipeline's reference on the most recent
@@ -456,6 +530,7 @@ func (pl *pipeline) report() PipelineReport {
 		Iterations:        pl.nextIndex,
 		MaxLiveIterations: pl.maxLive.Load(),
 		FinalThrottle:     pl.K.Load(),
+		FinalGrain:        pl.grain,
 		WorkNs:            pl.workNs.Load(),
 		SpanNs:            pl.spanNs.Load(),
 	}

@@ -116,6 +116,7 @@ func (e *Engine) acquireIterFrame() *frame {
 	f.panicked = nil
 	f.w = nil
 	f.inline = false
+	f.batched = false
 	f.refs.Store(2) // scheduler ownership + the successor-chain slot
 	return f
 }
@@ -228,6 +229,19 @@ func (e *Engine) acquirePipeline() *pipeline {
 	pl.nextIndex = 0
 	pl.phase = phaseLoop
 	pl.prevIter = nil
+	// Grain state: a fixed Options.Grain pins the claim; otherwise the
+	// adaptive policy starts every pipeline at 1 (probing, via grainHold,
+	// before the first growth step) and grows toward GrainMax. The
+	// coroutine tier never batches, so its reports honestly pin 1.
+	switch {
+	case !e.opts.InlineFastPath:
+		pl.grain, pl.grainMax, pl.grainFixed = 1, 1, true
+	case e.opts.Grain > 0:
+		pl.grain, pl.grainMax, pl.grainFixed = int64(e.opts.Grain), int64(e.opts.Grain), true
+	default:
+		pl.grain, pl.grainMax, pl.grainFixed = 1, int64(e.opts.GrainMax), false
+	}
+	pl.grainHold = true
 	pl.instrument = false
 	pl.workNs.Store(0)
 	pl.spanNs.Store(0)

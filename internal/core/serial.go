@@ -31,7 +31,7 @@ func RunSerial(cond func() bool, body func(*Iter)) PipelineReport {
 		f.serialContractCheck()
 		n++
 	}
-	return PipelineReport{Iterations: n, MaxLiveIterations: 1}
+	return PipelineReport{Iterations: n, MaxLiveIterations: 1, FinalGrain: 1}
 }
 
 // resetSerialIter is the serial mirror of acquireIterFrame's

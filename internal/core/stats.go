@@ -45,7 +45,7 @@ type Stats struct {
 	Iterations int64
 	// InlineIterations counts iterations started on the tier-1 inline
 	// fast path: the body begins as a direct call on the worker's
-	// goroutine, with no coroutine machinery (see frame.runInline).
+	// goroutine, with no coroutine machinery (see frame.runInlineBatch).
 	// Always zero when Options.InlineFastPath is false.
 	InlineIterations int64
 	// Promotions counts inline iterations that had to block — an
@@ -53,6 +53,19 @@ type Stats struct {
 	// nested pipeline — and were promoted to full coroutine frames
 	// mid-body. An unblocked pipeline's steady state has zero.
 	Promotions int64
+	// BatchedIterations counts iterations executed as deferred-release
+	// slots of an inline batch claim: their control-frame release (and
+	// frame acquisition, and chain link) was amortized into the batch
+	// (see frame.runInlineBatch). Every deferred-release slot counts; a
+	// batch that runs its full claim contributes G-1 (the final slot runs
+	// the plain per-iteration protocol), while one cut short by loop
+	// exhaustion or an abort counts each slot it started. Grain(1)
+	// engines always report zero.
+	BatchedIterations int64
+	// BatchSplits counts inline batches ended early because a claimed
+	// slot had to block and promote; the residual claim is abandoned and
+	// the adaptive grain backs off.
+	BatchSplits int64
 	// Segments counts coroutine and control segments driven by workers
 	// (inline iterations are counted by InlineIterations instead).
 	Segments int64
@@ -138,6 +151,8 @@ type statCounters struct {
 	iterations      atomic.Int64
 	inlineIters     atomic.Int64
 	promotions      atomic.Int64
+	batchedIters    atomic.Int64
+	batchSplits     atomic.Int64
 	segments        atomic.Int64
 	pipelines       atomic.Int64
 	closureTasks    atomic.Int64
@@ -157,31 +172,33 @@ type statCounters struct {
 
 func (c *statCounters) snapshot() Stats {
 	return Stats{
-		Steals:           c.steals.Load(),
-		FailedSteals:     c.failedSteals.Load(),
-		LazyEnables:      c.lazyEnables.Load(),
-		ThiefEnables:     c.thiefEnables.Load(),
-		EagerEnables:     c.eagerEnables.Load(),
-		TailSwaps:        c.tailSwaps.Load(),
-		CrossSuspends:    c.crossSuspends.Load(),
-		ThrottleParks:    c.throttleParks.Load(),
-		ThrottleGrows:    c.throttleGrows.Load(),
-		ThrottleShrinks:  c.throttleShrinks.Load(),
-		ScopeSuspends:    c.scopeSuspends.Load(),
-		CrossChecks:      c.crossChecks.Load(),
-		FoldHits:         c.foldHits.Load(),
-		Iterations:       c.iterations.Load(),
-		InlineIterations: c.inlineIters.Load(),
-		Promotions:       c.promotions.Load(),
-		Segments:         c.segments.Load(),
-		Pipelines:        c.pipelines.Load(),
-		ClosureTasks:     c.closureTasks.Load(),
-		Parks:            c.parks.Load(),
-		Wakes:            c.wakes.Load(),
-		Injects:          c.injects.Load(),
-		InjectOverflows:  c.injectOverflows.Load(),
-		Submits:          c.submits.Load(),
-		CancelRequests:   c.cancelRequests.Load(),
+		Steals:            c.steals.Load(),
+		FailedSteals:      c.failedSteals.Load(),
+		LazyEnables:       c.lazyEnables.Load(),
+		ThiefEnables:      c.thiefEnables.Load(),
+		EagerEnables:      c.eagerEnables.Load(),
+		TailSwaps:         c.tailSwaps.Load(),
+		CrossSuspends:     c.crossSuspends.Load(),
+		ThrottleParks:     c.throttleParks.Load(),
+		ThrottleGrows:     c.throttleGrows.Load(),
+		ThrottleShrinks:   c.throttleShrinks.Load(),
+		ScopeSuspends:     c.scopeSuspends.Load(),
+		CrossChecks:       c.crossChecks.Load(),
+		FoldHits:          c.foldHits.Load(),
+		Iterations:        c.iterations.Load(),
+		InlineIterations:  c.inlineIters.Load(),
+		Promotions:        c.promotions.Load(),
+		BatchedIterations: c.batchedIters.Load(),
+		BatchSplits:       c.batchSplits.Load(),
+		Segments:          c.segments.Load(),
+		Pipelines:         c.pipelines.Load(),
+		ClosureTasks:      c.closureTasks.Load(),
+		Parks:             c.parks.Load(),
+		Wakes:             c.wakes.Load(),
+		Injects:           c.injects.Load(),
+		InjectOverflows:   c.injectOverflows.Load(),
+		Submits:           c.submits.Load(),
+		CancelRequests:    c.cancelRequests.Load(),
 
 		AbortedIterations: c.abortedIters.Load(),
 		AbortedPipelines:  c.abortedPipes.Load(),

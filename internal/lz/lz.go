@@ -1,0 +1,261 @@
+// Package lz implements LZ77 factorization via suffix arrays, after
+// "On the Use of Suffix Arrays for Memory-Efficient Lempel-Ziv Data
+// Compression" (Ferreira, Oliveira, Figueiredo; arXiv:0903.4251): instead
+// of hash chains or an online search tree, the factorizer builds the
+// suffix array of a block once and derives each factor's longest previous
+// match from the lexicographic neighbours with smaller text positions
+// (PSV/NSV), computing match lengths only at factor start positions.
+//
+// As a piper workload (see pipelines.go) the block factorizer is the
+// interesting kind of pipeline stage for grain control: per-block cost is
+// fine-grained but highly variable — a repetitive block yields a handful
+// of long factors while an entropic one degenerates toward per-byte
+// literals — which is the regime where batching's fixed-cost amortization
+// and its adaptive backoff both matter.
+package lz
+
+// Factor is one LZ77 phrase: Len bytes copied from Dist bytes back, or a
+// single literal when Len == 0.
+type Factor struct {
+	// Dist is the backwards distance to the previous occurrence
+	// (1 <= Dist <= position) for a copy factor.
+	Dist int32
+	// Len is the copy length; 0 marks a literal factor.
+	Len int32
+	// Lit is the literal byte of a Len == 0 factor.
+	Lit byte
+}
+
+// Factorize computes the greedy LZ77 factorization of data: at each
+// position the longest match against any earlier position (or a literal
+// when no match exists). Factors never reference before the start of
+// data, so a block factorizes independently of its neighbours.
+func Factorize(data []byte) []Factor {
+	n := len(data)
+	if n == 0 {
+		return nil
+	}
+	sa := suffixArray(data)
+	// isa is the inverse permutation: isa[p] is the lexicographic rank of
+	// the suffix starting at p.
+	isa := make([]int32, n)
+	for r, p := range sa {
+		isa[p] = int32(r)
+	}
+	// psv[r]/nsv[r] hold, for the suffix ranked r, the text position of
+	// the nearest lexicographic neighbour (previous/next rank) whose text
+	// position is smaller — the only two candidates for the longest
+	// previous match of SA[r] (any other earlier suffix is lexicographically
+	// farther, hence shares a no-longer common prefix). Computed with the
+	// classic all-nearest-smaller-values stack sweep.
+	psv := make([]int32, n)
+	nsv := make([]int32, n)
+	stack := make([]int32, 0, 64)
+	for r := 0; r < n; r++ {
+		p := sa[r]
+		for len(stack) > 0 && stack[len(stack)-1] > p {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			psv[r] = stack[len(stack)-1]
+		} else {
+			psv[r] = -1
+		}
+		stack = append(stack, p)
+	}
+	stack = stack[:0]
+	for r := n - 1; r >= 0; r-- {
+		p := sa[r]
+		for len(stack) > 0 && stack[len(stack)-1] > p {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			nsv[r] = stack[len(stack)-1]
+		} else {
+			nsv[r] = -1
+		}
+		stack = append(stack, p)
+	}
+
+	// Greedy pass: match lengths are computed by direct comparison, but
+	// only at factor start positions, so the total comparison work is
+	// bounded by n plus the number of factors — the memory-efficient
+	// trade the paper makes against storing full LCP/LPF arrays.
+	match := func(p int, q int32) int32 {
+		if q < 0 {
+			return 0
+		}
+		var l int32
+		for int(l) < n-p && data[int(q)+int(l)] == data[p+int(l)] {
+			l++
+		}
+		return l
+	}
+	factors := make([]Factor, 0, 16+n/8)
+	for p := 0; p < n; {
+		r := isa[p]
+		q1, q2 := psv[r], nsv[r]
+		l1, l2 := match(p, q1), match(p, q2)
+		src, l := q1, l1
+		if l2 > l1 || (l2 == l1 && q2 > q1) {
+			// Prefer the longer match; on ties the nearer source (larger
+			// position → smaller distance) encodes tighter.
+			src, l = q2, l2
+		}
+		if l == 0 {
+			factors = append(factors, Factor{Lit: data[p]})
+			p++
+			continue
+		}
+		factors = append(factors, Factor{Dist: int32(p) - src, Len: l})
+		p += int(l)
+	}
+	return factors
+}
+
+// Reconstruct expands factors into dst (which must be empty or nil) and
+// returns the decoded block.
+func Reconstruct(dst []byte, factors []Factor) []byte {
+	for _, f := range factors {
+		if f.Len == 0 {
+			dst = append(dst, f.Lit)
+			continue
+		}
+		// Byte-at-a-time on purpose: a factor may overlap its own output
+		// (Dist < Len encodes a run), exactly as in LZ77.
+		start := len(dst) - int(f.Dist)
+		for k := 0; k < int(f.Len); k++ {
+			dst = append(dst, dst[start+k])
+		}
+	}
+	return dst
+}
+
+// suffixArray builds the suffix array of data by prefix doubling with a
+// two-pass radix sort per round — O(n log n), no dependencies, and byte
+// alphabets need no initial sort.Slice. n is bounded by block sizes
+// (int32 ranks), which the pipeline enforces.
+func suffixArray(data []byte) []int32 {
+	n := len(data)
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	for i := 0; i < n; i++ {
+		sa[i] = int32(i)
+		rank[i] = int32(data[i])
+	}
+	if n < 2 {
+		return sa
+	}
+	// Initial order by first byte (counting sort over the 256-symbol
+	// alphabet), then compress the byte values into dense ranks so the
+	// doubling rounds can counting-sort over [0, n).
+	var cnt [257]int32
+	for _, r := range rank {
+		cnt[r+1]++
+	}
+	for c := 1; c < 257; c++ {
+		cnt[c] += cnt[c-1]
+	}
+	for i := 0; i < n; i++ {
+		r := rank[i]
+		sa[cnt[r]] = int32(i)
+		cnt[r]++
+	}
+	tmp[sa[0]] = 0
+	dense := int32(0)
+	for i := 1; i < n; i++ {
+		if data[sa[i]] != data[sa[i-1]] {
+			dense++
+		}
+		tmp[sa[i]] = dense
+	}
+	rank, tmp = tmp, rank
+	if int(dense) == n-1 {
+		return sa
+	}
+
+	buf := make([]int32, n)
+	count := make([]int32, n+1)
+	for h := 1; ; h *= 2 {
+		// Sort by (rank[i], rank[i+h]) pairs. Radix pass 1: order by the
+		// second key — suffixes with i+h >= n (empty second key) come
+		// first, then the current sa order restricted to positions i-h
+		// gives the second-key order for the rest.
+		k := 0
+		for i := n - h; i < n; i++ {
+			buf[k] = int32(i)
+			k++
+		}
+		for _, p := range sa {
+			if p >= int32(h) {
+				buf[k] = p - int32(h)
+				k++
+			}
+		}
+		// Radix pass 2: stable counting sort by the first key.
+		for i := range count[:n+1] {
+			count[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			count[rank[i]+1]++
+		}
+		for c := 1; c <= n; c++ {
+			count[c] += count[c-1]
+		}
+		for _, p := range buf {
+			r := rank[p]
+			sa[count[r]] = p
+			count[r]++
+		}
+		// Re-rank: equal pairs share a rank.
+		second := func(p int32) int32 {
+			if int(p)+h < n {
+				return rank[int(p)+h]
+			}
+			return -1
+		}
+		tmp[sa[0]] = 0
+		maxRank := int32(0)
+		for i := 1; i < n; i++ {
+			a, b := sa[i-1], sa[i]
+			if rank[a] != rank[b] || second(a) != second(b) {
+				maxRank++
+			}
+			tmp[b] = maxRank
+		}
+		rank, tmp = tmp, rank
+		if int(maxRank) == n-1 {
+			break
+		}
+	}
+	return sa
+}
+
+// naiveFactorize is the quadratic reference factorizer used by the tests:
+// at each position, scan every earlier start for the longest match.
+// Exported to the package tests only through its lowercase name.
+func naiveFactorize(data []byte) []Factor {
+	n := len(data)
+	var factors []Factor
+	for p := 0; p < n; {
+		bestLen, bestSrc := 0, -1
+		for q := 0; q < p; q++ {
+			l := 0
+			for p+l < n && data[q+l] == data[p+l] {
+				l++
+			}
+			if l > bestLen || (l == bestLen && l > 0 && q > bestSrc) {
+				bestLen, bestSrc = l, q
+			}
+		}
+		if bestLen == 0 {
+			factors = append(factors, Factor{Lit: data[p]})
+			p++
+			continue
+		}
+		factors = append(factors, Factor{Dist: int32(p - bestSrc), Len: int32(bestLen)})
+		p += bestLen
+	}
+	return factors
+}

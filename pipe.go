@@ -54,6 +54,19 @@ func SubmitPipeWait[T any](ctx context.Context, eng *Engine, next func() (T, boo
 // false. body receives the iteration handle and the element, already
 // copied into iteration-local state, which avoids the shared-variable
 // pitfall of hand-written pipe_while conditions.
+//
+// Grain contract: on an engine with batched execution (Options.Grain,
+// the adaptive default), the scheduler may claim runs of consecutive
+// iterations and execute them back-to-back on one worker — next is then
+// called between the iterations of a run, still serially and exactly
+// once per iteration, and all pipe_while semantics (serial stage-0
+// order, cross edges, cancellation) are preserved. The one visible
+// constraint: a body may block through piper primitives (Wait, Sync,
+// nested pipelines — the batch detects these and splits), but blocking
+// on external synchronization that a later iteration of the same
+// pipeline would satisfy can deadlock, just as the paper requires
+// inter-iteration dependencies to be expressed via pipe_wait. Grain(1)
+// restores the strict one-iteration-per-claim protocol.
 func Pipe[T any](eng *Engine, next func() (T, bool), body func(it *Iter, v T)) {
 	PipeThrottled(eng, 0, next, body)
 }

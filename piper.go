@@ -155,6 +155,33 @@ func PoolFrames(enabled bool) Option {
 	return func(o *core.Options) { o.PoolFrames = enabled }
 }
 
+// Grain fixes the batched inline execution run length G (default 0,
+// adaptive). The inline fast path claims up to G consecutive iterations
+// into one control frame and runs their bodies back-to-back through one
+// recycled iteration frame, paying one frame acquisition and one deque
+// release per batch instead of per iteration; the batch splits at the
+// first iteration that must actually block, so promotion, cancellation,
+// and serial-stage ordering semantics are unchanged. Grain(1) reproduces
+// the unbatched per-iteration protocol exactly. A batch serializes its
+// claimed run on one worker between releases of the stealable pipe_while
+// continuation, so large fixed grains trade parallelism for lower
+// scheduling overhead — exactly TBB-style grain control; the adaptive
+// default makes that trade per pipeline, backing off whenever workers go
+// idle or batches split. Instrumented (Profile*) and traced runs always
+// execute with grain 1 so work/span accounting stays exact. Only
+// meaningful while InlineFastPath is enabled.
+func Grain(g int) Option {
+	return func(o *core.Options) { o.Grain = g }
+}
+
+// GrainMax caps adaptive grain growth (default 64): each pipeline's run
+// length starts at 1 and doubles up to this ceiling while its batches
+// complete cleanly with every worker busy. Ignored when Grain fixes the
+// run length.
+func GrainMax(g int) Option {
+	return func(o *core.Options) { o.GrainMax = g }
+}
+
 // InlineFastPath toggles tier-1 inline execution (default on): a worker
 // first drives each iteration as direct function calls on its own stack —
 // no runner goroutine, no channel handshake — and promotes it to a full
