@@ -8,7 +8,8 @@
 //
 // Experiments: fig6 (ferret), fig7 (dedup), fig8 (x264), fig9 (pipe-fib
 // dependency folding), thm12 (uniform throttling), fig10 (pathological
-// pipeline), ablate (Section 9 optimizations), all.
+// pipeline), ablate (Section 9 optimizations), arena (data-plane buffer
+// recycling on/off), all.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig6|fig7|fig8|fig9|thm12|fig10|ablate|adaptive|elastic|grain|all")
+		experiment = flag.String("experiment", "all", "fig6|fig7|fig8|fig9|thm12|fig10|ablate|adaptive|elastic|grain|arena|all")
 		size       = flag.String("size", "small", "small|native")
 		plist      = flag.String("plist", "", "comma-separated worker counts (default 1,2,...,NumCPU)")
 		pmax       = flag.Int("pmax", runtime.NumCPU(), "worker count for single-P experiments")
@@ -33,6 +34,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "with -json: compare the guarded benchmark(s) against this checked-in report and exit nonzero on regression")
 		guard      = flag.String("guard", "SerialOverheadPerIter/P1", "with -baseline: comma-separated benchmark name(s) to guard")
 		maxregress = flag.Float64("maxregress", 15, "with -baseline: fail if a guarded benchmark is more than this percent slower")
+		metricg    = flag.String("metricguard", "", "with -baseline: comma-separated name:metric:slack entries guarding allocs_per_op/bytes_per_op/ns_per_op with the -maxregress bound plus an absolute slack (e.g. \"Dedup1MiB/P2:allocs_per_op:16\")")
 	)
 	flag.Parse()
 
@@ -56,10 +58,33 @@ func main() {
 					failed = true
 				}
 			}
+			for _, entry := range strings.Split(*metricg, ",") {
+				entry = strings.TrimSpace(entry)
+				if entry == "" {
+					continue
+				}
+				parts := strings.Split(entry, ":")
+				if len(parts) != 3 {
+					fmt.Fprintf(os.Stderr, "piperbench: bad -metricguard entry %q (want name:metric:slack)\n", entry)
+					failed = true
+					continue
+				}
+				slack, err := strconv.ParseFloat(parts[2], 64)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "piperbench: bad -metricguard slack in %q: %v\n", entry, err)
+					failed = true
+					continue
+				}
+				checked++
+				if err := bench.CheckMetricRegression(*jsonOut, *baseline, parts[0], parts[1], *maxregress, slack); err != nil {
+					fmt.Fprintf(os.Stderr, "piperbench: benchmark regression: %v\n", err)
+					failed = true
+				}
+			}
 			if checked == 0 {
-				// An empty -guard must not pass as a vacuous success: a CI
+				// Empty guards must not pass as a vacuous success: a CI
 				// step that guards nothing is a misconfiguration.
-				fmt.Fprintf(os.Stderr, "piperbench: -baseline given but -guard %q names no benchmarks\n", *guard)
+				fmt.Fprintf(os.Stderr, "piperbench: -baseline given but -guard %q and -metricguard %q name no benchmarks\n", *guard, *metricg)
 				failed = true
 			}
 			if failed {
@@ -98,9 +123,10 @@ func main() {
 		"adaptive": func() { bench.AdaptiveThrottle(os.Stdout, *pmax, sz) },
 		"elastic":  func() { bench.Elasticity(os.Stdout, *pmax, sz) },
 		"grain":    func() { bench.GrainAblation(os.Stdout, *pmax, sz) },
+		"arena":    func() { bench.ArenaAblation(os.Stdout, *pmax, sz) },
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig6", "fig7", "fig8", "fig9", "thm12", "fig10", "ablate", "adaptive", "elastic", "grain"} {
+		for _, name := range []string{"fig6", "fig7", "fig8", "fig9", "thm12", "fig10", "ablate", "adaptive", "elastic", "grain", "arena"} {
 			run[name]()
 		}
 		return

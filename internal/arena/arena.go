@@ -1,0 +1,315 @@
+// Package arena provides recycled, cache-line-aligned, reference-counted
+// byte regions for pipeline stage payloads.
+//
+// The scheduler's own hot path is allocation-free, which makes the data
+// plane the next throughput wall: a GB/s stream workload that allocates a
+// fresh buffer per chunk, frame, or block spends its headroom in the
+// allocator and the GC. An Arena recycles those buffers through power-of-2
+// size-class pools instead, so the steady state of a pipeline performs
+// near-zero heap allocations end-to-end.
+//
+// # Ownership model
+//
+// A Ref is a reference-counted handle on one region. Get returns a Ref
+// holding one reference, owned by the acquiring stage. A payload flows
+// through pipeline stages by hand-off: the producing stage calls Retain
+// for every additional consumer it publishes the region to (e.g. the next
+// iteration reading this iteration's output across a cross edge), and
+// each consumer calls Release exactly once when it is done. The storage
+// recycles when the count reaches zero. Within an iteration body, pair
+// every Get/Retain with a deferred Release: pipeline cancellation and
+// panic capture unwind iteration bodies through ordinary panic
+// propagation, so deferred releases are what keep an aborted pipeline
+// from leaking regions (the leak-check tests assert LiveBytes drains to
+// zero after cancellation storms).
+//
+// # Invariants
+//
+//   - Retain may only be called while holding a reference; retaining a
+//     released region panics.
+//   - Release more times than Get+Retain panics (double release).
+//   - The region's bytes may be read or written only while holding a
+//     reference. The checked Bytes accessor enforces this when the debug
+//     mode is on; the exported B field is the unchecked hot-path view.
+//
+// Regions handed out by Get are aligned to a cache-line boundary, so
+// adjacent regions never false-share and SIMD-friendly layouts hold.
+// A region grown past its capacity (via append on B) re-buckets into the
+// class matching its new capacity on release, unless the runtime's
+// reallocation lost the alignment, in which case it is dropped for the
+// GC rather than poisoning the pool's guarantee.
+package arena
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// CacheLine is the alignment of every region handed out by Get.
+const CacheLine = 64
+
+const (
+	// minClassBits..maxClassBits bound the size classes: 256 B to 64 MiB.
+	minClassBits = 8
+	maxClassBits = 26
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// debugChecks gates the misuse-detection paths (use-after-release checks
+// in Bytes and release-time poisoning). Package-level so tests flip it
+// without threading a flag through every Get; off in production, where
+// the refcount under/overflow panics remain as the always-on guard.
+var debugChecks atomic.Bool
+
+// SetDebug toggles the debug misuse checks: Bytes panics on a released
+// region and Release poisons the region's prefix before recycling, so a
+// use-after-release reads a recognizable 0xDB pattern instead of silently
+// observing the next owner's data. Returns the previous setting.
+func SetDebug(on bool) bool { return debugChecks.Swap(on) }
+
+// Arena is a set of per-size-class region pools with usage gauges. An
+// Arena is safe for concurrent use; the intended deployment is one Arena
+// per Engine, shared by every pipeline the engine runs.
+//
+// A disabled Arena (New(false)) keeps the full Ref API and the LiveBytes
+// gauge — so ownership discipline stays testable — but never recycles:
+// Get always allocates and Release hands the storage to the GC. This is
+// the ablation configuration for measuring what recycling buys.
+type Arena struct {
+	enabled bool
+	classes [numClasses]sync.Pool // *Ref with storage of at least the class size
+	spare   sync.Pool             // *Ref handles without storage (oversize / disabled)
+
+	live     atomic.Int64 // bytes currently checked out (charged capacity)
+	recycled atomic.Int64 // bytes returned to a class pool over the lifetime
+	gets     atomic.Int64
+	puts     atomic.Int64
+	misses   atomic.Int64 // Gets not served from a class pool
+}
+
+// New returns an Arena. enabled=false yields the no-recycling ablation
+// arena described on the type.
+func New(enabled bool) *Arena { return &Arena{enabled: enabled} }
+
+// Enabled reports whether the arena recycles storage.
+func (a *Arena) Enabled() bool { return a.enabled }
+
+// Counters is a snapshot of the arena gauges.
+type Counters struct {
+	// LiveBytes is the capacity currently checked out: charged at Get,
+	// discharged at the final Release. Zero on an idle arena — the leak
+	// invariant the pipeline teardown paths are tested against.
+	LiveBytes int64
+	// RecycledBytes accumulates the capacity of every region returned to
+	// a class pool (zero on a disabled arena).
+	RecycledBytes int64
+	// Gets, Puts and Misses count region checkouts, returns-to-pool, and
+	// checkouts that had to allocate fresh storage.
+	Gets, Puts, Misses int64
+}
+
+// Stats returns a snapshot of the arena gauges.
+func (a *Arena) Stats() Counters {
+	return Counters{
+		LiveBytes:     a.live.Load(),
+		RecycledBytes: a.recycled.Load(),
+		Gets:          a.gets.Load(),
+		Puts:          a.puts.Load(),
+		Misses:        a.misses.Load(),
+	}
+}
+
+// Ref is a reference-counted handle on one arena region.
+//
+// B is the region's byte slice: length 0 and capacity at least the
+// requested size immediately after Get. Stages use it directly —
+// appending, reslicing, or writing in place — and may store a grown
+// slice back; the final Release re-buckets the storage by its capacity.
+// B must only be touched while the holder's reference is live.
+type Ref struct {
+	B []byte
+
+	a      *Arena
+	charge int64 // live-bytes charged at Get; discharged at final Release
+	refs   atomic.Int32
+}
+
+// classFor returns the size-class index covering a request of n bytes,
+// or -1 when n exceeds the largest class (oversize requests bypass the
+// pools).
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassBits
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// classSize is the capacity of class c regions.
+func classSize(c int) int { return 1 << (minClassBits + c) }
+
+// alignedMake allocates a fresh cache-line-aligned byte slice of the
+// given capacity (length 0, capacity exactly size).
+func alignedMake(size int) []byte {
+	raw := make([]byte, size+CacheLine-1)
+	off := 0
+	if rem := int(uintptr(unsafe.Pointer(unsafe.SliceData(raw))) & (CacheLine - 1)); rem != 0 {
+		off = CacheLine - rem
+	}
+	return raw[off : off : off+size]
+}
+
+// aligned reports whether b's base address sits on a cache-line boundary.
+func aligned(b []byte) bool {
+	if cap(b) == 0 {
+		return false
+	}
+	return uintptr(unsafe.Pointer(unsafe.SliceData(b[:1])))&(CacheLine-1) == 0
+}
+
+// Get checks out a region of capacity at least n (n <= 0 is treated as a
+// minimum-class request). The returned Ref holds one reference, owned by
+// the caller; B has length 0.
+func (a *Arena) Get(n int) *Ref {
+	a.gets.Add(1)
+	c := classFor(n)
+	var r *Ref
+	if a.enabled && c >= 0 {
+		if v := a.classes[c].Get(); v != nil {
+			r = v.(*Ref)
+		}
+	}
+	if r == nil {
+		a.misses.Add(1)
+		if v := a.spare.Get(); v != nil {
+			r = v.(*Ref)
+		} else {
+			r = &Ref{}
+		}
+		size := n
+		if c >= 0 {
+			size = classSize(c)
+		}
+		r.B = alignedMake(size)
+	}
+	r.a = a
+	r.charge = int64(cap(r.B))
+	r.refs.Store(1)
+	a.live.Add(r.charge)
+	return r
+}
+
+// Retain adds one reference for a consumer the region is being handed to.
+// It returns r for call chaining. Retaining a region whose references
+// already reached zero panics: the storage may have been recycled.
+func (r *Ref) Retain() *Ref {
+	if r.refs.Add(1) <= 1 {
+		panic("arena: Retain of a released region")
+	}
+	return r
+}
+
+// Release drops one reference. When the last reference goes, the storage
+// returns to its size-class pool (or to the GC on a disabled arena or
+// for oversize/misaligned storage). Releasing more times than the region
+// was acquired and retained panics.
+func (r *Ref) Release() {
+	n := r.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("arena: double Release")
+	}
+	a := r.a
+	a.live.Add(-r.charge)
+	b := r.B
+	r.B = nil
+	r.a = nil
+	r.charge = 0
+	if debugChecks.Load() {
+		poison(b)
+	}
+	// Re-bucket by current capacity: a grown region recycles into the
+	// class its storage now fills. Storage that grew past the largest
+	// class, or whose reallocation lost the cache-line alignment, is
+	// dropped — the pools only ever serve aligned regions.
+	if c := putClassFor(cap(b)); a.enabled && c >= 0 && aligned(b) {
+		r.B = b[:0]
+		a.puts.Add(1)
+		a.recycled.Add(int64(cap(b)))
+		a.classes[c].Put(r)
+		return
+	}
+	a.spare.Put(r)
+}
+
+// putClassFor returns the largest class whose size fits within a capacity
+// of n bytes, or -1 when n is below the smallest class.
+func putClassFor(n int) int {
+	if n < 1<<minClassBits {
+		return -1
+	}
+	c := bits.Len(uint(n)) - 1 - minClassBits
+	if c >= numClasses {
+		c = numClasses - 1
+	}
+	return c
+}
+
+// Bytes is the checked accessor for the region's contents: identical to
+// reading B, but with the debug mode on it panics if the caller no longer
+// holds a live reference.
+func (r *Ref) Bytes() []byte {
+	if debugChecks.Load() && r.refs.Load() <= 0 {
+		panic("arena: Bytes on a released region")
+	}
+	return r.B
+}
+
+// Refs reports the current reference count; for tests and diagnostics.
+func (r *Ref) Refs() int { return int(r.refs.Load()) }
+
+// poison overwrites the region's prefix with a recognizable pattern so a
+// use-after-release reads garbage deterministically instead of the next
+// owner's data.
+func poison(b []byte) {
+	b = b[:cap(b)]
+	n := len(b)
+	if n > 4*CacheLine {
+		n = 4 * CacheLine
+	}
+	for i := 0; i < n; i++ {
+		b[i] = 0xDB
+	}
+}
+
+// View reinterprets the region's storage as a []T of length and capacity
+// n, for payloads that are typed records rather than raw bytes (e.g. the
+// int32 scratch arrays of a suffix sorter, or factor lists). T must be a
+// pointer-free type — the storage is untyped bytes, invisible to the GC
+// as pointers — and n*sizeof(T) must fit the region's capacity. The view
+// aliases the region: it is valid only while the caller holds a live
+// reference.
+func View[T any](r *Ref, n int) []T {
+	var t T
+	size, align := int(unsafe.Sizeof(t)), int(unsafe.Alignof(t))
+	if size == 0 || n == 0 {
+		return make([]T, n)
+	}
+	b := r.Bytes()
+	if n*size > cap(b) {
+		panic(fmt.Sprintf("arena: View of %d×%dB exceeds region capacity %d", n, size, cap(b)))
+	}
+	base := unsafe.Pointer(unsafe.SliceData(b[:1]))
+	if uintptr(base)&uintptr(align-1) != 0 {
+		panic("arena: region storage misaligned for View element type")
+	}
+	return unsafe.Slice((*T)(base), n)
+}

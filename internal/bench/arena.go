@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"piper"
+	"piper/internal/dedup"
+	"piper/internal/lz"
+	"piper/internal/workload"
+)
+
+// Arena data-plane ablation: what buffer recycling buys on the two
+// stream workloads whose payloads flow through the arena (dedup's
+// per-chunk deflate buffers, LZ's per-block suffix-sort scratch and
+// factor lists). The disabled configuration (ArenaBuffers(false)) keeps
+// the identical ownership API — same retain/release hand-offs, same
+// gauges — but every Get allocates and every final Release goes to the
+// GC, so the delta isolates recycling itself from the refactoring.
+
+// ArenaAblation renders the arena on/off comparison.
+func ArenaAblation(w io.Writer, pmax int, sz SizeSpec) *Table {
+	if pmax < 1 {
+		pmax = 1
+	}
+	data := workload.TextStream(1234, sz.DedupBytes, 4096, 0.35)
+
+	tbl := &Table{
+		Title: fmt.Sprintf("Arena data-plane ablation (dedup + LZ on %d MiB at P=%d, K=4P)",
+			sz.DedupBytes>>20, pmax),
+		Header: []string{"config", "workload", "time", "allocs/op", "alloc MB/op", "arena gets", "misses", "recycled MB/op"},
+	}
+
+	type work struct {
+		name string
+		body func(e *piper.Engine)
+	}
+	works := []work{
+		{"dedup", func(e *piper.Engine) { _ = dedup.CompressPiper(e, 4*pmax, data, io.Discard) }},
+		{"lz", func(e *piper.Engine) { _ = lz.Compress(e, 0, data, 0) }},
+	}
+	for _, enabled := range []bool{true, false} {
+		name := "arena on"
+		if !enabled {
+			name = "arena off"
+		}
+		for _, wk := range works {
+			e := piper.NewEngine(piper.Workers(pmax), piper.ArenaBuffers(enabled))
+			wk.body(e) // warm pools, workers, and size classes
+
+			// Allocation counters bracket the timed reps; per-op numbers
+			// divide out the rep count.
+			reps := sz.Reps
+			if reps < 1 {
+				reps = 1
+			}
+			var m0, m1 runtime.MemStats
+			before := e.Stats()
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			for i := 0; i < reps; i++ {
+				wk.body(e)
+			}
+			el := time.Since(t0) / time.Duration(reps)
+			runtime.ReadMemStats(&m1)
+			after := e.Stats()
+			e.Close()
+
+			d := float64(reps)
+			tbl.AddRow(name, wk.name,
+				el.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", float64(m1.Mallocs-m0.Mallocs)/d),
+				fmt.Sprintf("%.1f", float64(m1.TotalAlloc-m0.TotalAlloc)/d/(1<<20)),
+				fmt.Sprintf("%.0f", float64(after.ArenaGets-before.ArenaGets)/d),
+				fmt.Sprintf("%.0f", float64(after.ArenaMisses-before.ArenaMisses)/d),
+				fmt.Sprintf("%.1f", float64(after.ArenaBytesRecycled-before.ArenaBytesRecycled)/d/(1<<20)))
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"arena off (ArenaBuffers(false)) keeps the Ref ownership API and gauges but never recycles: every Get allocates, every final Release goes to the GC",
+		"allocs/op counts every heap allocation during one full pipeline run (runtime.MemStats.Mallocs delta), including the output stream's growth",
+		"misses are arena checkouts that allocated fresh storage; the warm-up run outside the measurement makes steady-state misses ≈ 0 with the arena on")
+	if w != nil {
+		tbl.Fprint(w)
+	}
+	return tbl
+}

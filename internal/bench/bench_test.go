@@ -160,6 +160,103 @@ func TestCheckRegression(t *testing.T) {
 	}
 }
 
+// TestCheckMetricRegression exercises the generalized guard on the
+// counting metrics: the absolute slack must carry zero/near-zero
+// baselines (an arena-backed pipeline's allocs_per_op), the percentage
+// bound must still catch blowups, and garbage metrics must error.
+func TestCheckMetricRegression(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, allocs, bytes float64) string {
+		rep := JSONReport{Benchmarks: []JSONBenchmark{{Name: "X/P1", NsPerOp: 100, AllocsPerOp: allocs, BytesPerOp: bytes}}}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", 30, 50000)
+	okFresh := write("ok.json", 40, 55000)
+	badFresh := write("bad.json", 700, 4e6)
+	if err := CheckMetricRegression(okFresh, base, "X/P1", "allocs_per_op", 15, 16); err != nil {
+		t.Fatalf("within percentage+slack failed: %v", err)
+	}
+	if err := CheckMetricRegression(badFresh, base, "X/P1", "allocs_per_op", 15, 16); err == nil {
+		t.Fatal("20× alloc blowup passed the guard")
+	}
+	if err := CheckMetricRegression(badFresh, base, "X/P1", "bytes_per_op", 15, 4096); err == nil {
+		t.Fatal("80× bytes blowup passed the guard")
+	}
+	if err := CheckMetricRegression(okFresh, base, "X/P1", "parks_per_op", 15, 1); err == nil {
+		t.Fatal("unknown metric name passed")
+	}
+
+	// Zero baselines: legitimate for counters when slack supplies the
+	// tolerance, an error when it does not (a pure percentage bound on a
+	// zero baseline tolerates nothing and flaps on warm-up noise).
+	zeroBase := write("zerobase.json", 0, 0)
+	zeroFresh := write("zerofresh.json", 0, 0)
+	smallFresh := write("smallfresh.json", 10, 1000)
+	if err := CheckMetricRegression(zeroFresh, zeroBase, "X/P1", "allocs_per_op", 15, 16); err != nil {
+		t.Fatalf("zero fresh vs zero baseline with slack failed: %v", err)
+	}
+	if err := CheckMetricRegression(smallFresh, zeroBase, "X/P1", "allocs_per_op", 15, 16); err != nil {
+		t.Fatalf("within-slack drift off a zero baseline failed: %v", err)
+	}
+	if err := CheckMetricRegression(smallFresh, zeroBase, "X/P1", "allocs_per_op", 15, 0); err == nil {
+		t.Fatal("zero baseline with zero slack must refuse to guard")
+	}
+	if err := CheckMetricRegression(smallFresh, zeroBase, "X/P1", "bytes_per_op", 15, 16); err == nil {
+		t.Fatal("1000 fresh bytes over a zero baseline with slack 16 passed")
+	}
+	// ns_per_op keeps its stricter positivity contract through the
+	// generalized path: a decoded-as-zero row is a missing row, not a win.
+	zeroNs := filepath.Join(dir, "zerons.json")
+	if err := os.WriteFile(zeroNs, []byte(`{"benchmarks":[{"name":"X/P1","allocs_per_op":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckMetricRegression(okFresh, zeroNs, "X/P1", "ns_per_op", 15, 5); err == nil {
+		t.Fatal("zero baseline ns_per_op passed the generalized guard")
+	}
+}
+
+// TestArenaAblationSmall renders the arena on/off table at a tiny size
+// and pins the recycling contract: the enabled rows must recycle bytes
+// with zero steady-state misses, the disabled rows must recycle nothing
+// and miss every checkout.
+func TestArenaAblationSmall(t *testing.T) {
+	sz := Small()
+	sz.DedupBytes = 128 << 10
+	tbl := ArenaAblation(nil, 2, sz)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want on/off × dedup/lz", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		gets, misses, recycled := row[5], row[6], row[7]
+		switch row[0] {
+		case "arena on":
+			if misses != "0" {
+				t.Errorf("%s/%s: steady-state misses = %s, want 0", row[0], row[1], misses)
+			}
+			if recycled == "0.0" {
+				t.Errorf("%s/%s: recycled nothing", row[0], row[1])
+			}
+		case "arena off":
+			if misses != gets {
+				t.Errorf("%s/%s: misses %s != gets %s on a disabled arena", row[0], row[1], misses, gets)
+			}
+			if recycled != "0.0" {
+				t.Errorf("%s/%s: disabled arena recycled %s MB", row[0], row[1], recycled)
+			}
+		default:
+			t.Errorf("unexpected config %q", row[0])
+		}
+	}
+}
+
 // TestJSONSuiteFilterMatchesNothing pins the -only contract: a filter
 // that selects zero rows must error (naming the available rows) instead
 // of silently writing an empty report, and WriteJSONFile must not leave a

@@ -41,6 +41,13 @@ type JSONBenchmark struct {
 	Promotions   float64 `json:"promotions_per_op"`
 	BatchedIters float64 `json:"batched_iters_per_op"`
 	BatchSplits  float64 `json:"batch_splits_per_op"`
+	// ArenaGets, ArenaMisses and ArenaRecycled are data-plane counter
+	// deltas per operation: payload-region checkouts, checkouts that had
+	// to allocate fresh storage, and bytes returned to the size-class
+	// pools. A steady-state arena-backed workload shows Misses ≈ 0.
+	ArenaGets     float64 `json:"arena_gets_per_op"`
+	ArenaMisses   float64 `json:"arena_misses_per_op"`
+	ArenaRecycled float64 `json:"arena_recycled_bytes_per_op"`
 }
 
 // JSONReport is the top-level BENCH_piper.json document.
@@ -64,6 +71,9 @@ func statDelta(b *JSONBenchmark, before, after piper.Stats, n int) {
 	b.Promotions = float64(after.Promotions-before.Promotions) / d
 	b.BatchedIters = float64(after.BatchedIterations-before.BatchedIterations) / d
 	b.BatchSplits = float64(after.BatchSplits-before.BatchSplits) / d
+	b.ArenaGets = float64(after.ArenaGets-before.ArenaGets) / d
+	b.ArenaMisses = float64(after.ArenaMisses-before.ArenaMisses) / d
+	b.ArenaRecycled = float64(after.ArenaBytesRecycled-before.ArenaBytesRecycled) / d
 }
 
 // runJSONBench runs one benchmark body against a dedicated engine and
@@ -99,7 +109,7 @@ func runJSONBench(name string, perIter int, mkEngine func() *piper.Engine, body 
 		BytesPerOp:  float64(r.AllocedBytesPerOp()) / div,
 	}
 	statDelta(&b, before, after, r.N)
-	for _, f := range []*float64{&b.Steals, &b.Parks, &b.Wakes, &b.PoolHits, &b.PoolMisses, &b.InlineIters, &b.Promotions, &b.BatchedIters, &b.BatchSplits} {
+	for _, f := range []*float64{&b.Steals, &b.Parks, &b.Wakes, &b.PoolHits, &b.PoolMisses, &b.InlineIters, &b.Promotions, &b.BatchedIters, &b.BatchSplits, &b.ArenaGets, &b.ArenaMisses, &b.ArenaRecycled} {
 		*f /= div
 	}
 	return b
@@ -210,60 +220,92 @@ func WriteJSONFile(path, filter string) error {
 	return f.Close()
 }
 
+// loadBenchmark reads a JSONReport and finds the named benchmark row.
+func loadBenchmark(path, name string) (JSONBenchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return JSONBenchmark{}, err
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return JSONBenchmark{}, err
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return JSONBenchmark{}, fmt.Errorf("benchmark %q not found in %s", name, path)
+}
+
+// metricOf extracts one guarded metric from a benchmark row by its JSON
+// field name.
+func metricOf(b JSONBenchmark, metric string) (float64, error) {
+	switch metric {
+	case "ns_per_op":
+		return b.NsPerOp, nil
+	case "allocs_per_op":
+		return b.AllocsPerOp, nil
+	case "bytes_per_op":
+		return b.BytesPerOp, nil
+	}
+	return 0, fmt.Errorf("unknown guarded metric %q (want ns_per_op, allocs_per_op, or bytes_per_op)", metric)
+}
+
 // CheckRegression compares the named benchmark's ns_per_op between a
 // freshly written report and a checked-in baseline, and returns an error
 // if the fresh number is more than maxPct percent slower. Used by the CI
 // benchmark-regression smoke step against BENCH_piper.json.
 func CheckRegression(freshPath, baselinePath, name string, maxPct float64) error {
-	load := func(path string) (JSONReport, error) {
-		var rep JSONReport
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return rep, err
-		}
-		return rep, json.Unmarshal(data, &rep)
-	}
-	find := func(rep JSONReport, path string) (JSONBenchmark, error) {
-		for _, b := range rep.Benchmarks {
-			if b.Name == name {
-				return b, nil
-			}
-		}
-		return JSONBenchmark{}, fmt.Errorf("benchmark %q not found in %s", name, path)
-	}
-	fresh, err := load(freshPath)
+	return CheckMetricRegression(freshPath, baselinePath, name, "ns_per_op", maxPct, 0)
+}
+
+// CheckMetricRegression is CheckRegression generalized over the guarded
+// metric (ns_per_op, allocs_per_op, or bytes_per_op): the fresh value
+// must not exceed baseline·(1+maxPct/100) + slack. The absolute slack
+// term exists for counting metrics — an arena-backed pipeline's
+// allocs_per_op baseline sits near zero, where a pure percentage bound
+// is degenerate (0 tolerates nothing; noise of ±a few allocations from
+// pool warm-up would flap the guard).
+func CheckMetricRegression(freshPath, baselinePath, name, metric string, maxPct, slack float64) error {
+	fb, err := loadBenchmark(freshPath, name)
 	if err != nil {
 		return err
 	}
-	base, err := load(baselinePath)
+	bb, err := loadBenchmark(baselinePath, name)
 	if err != nil {
 		return err
 	}
-	fb, err := find(fresh, freshPath)
+	fv, err := metricOf(fb, metric)
 	if err != nil {
 		return err
 	}
-	bb, err := find(base, baselinePath)
+	bv, err := metricOf(bb, metric)
 	if err != nil {
 		return err
 	}
-	// A zero, missing (decoded as 0), negative, or NaN metric would make
-	// the drift percentage NaN/Inf/negative, which can never exceed
-	// maxPct — real regressions would then pass silently. Refuse to guard
-	// against garbage on either side instead. Note NaN fails every
-	// comparison, so the checks must be written as !(x > 0).
-	if !(bb.NsPerOp > 0) {
-		return fmt.Errorf("baseline %q has non-positive ns_per_op %v; regenerate %s", name, bb.NsPerOp, baselinePath)
+	// A negative or NaN metric would make the bound arithmetic vacuous or
+	// poisoned — real regressions would then pass silently. Refuse to
+	// guard against garbage on either side instead. A zero is garbage for
+	// ns_per_op (nothing runs in zero time: it means a missing row) but
+	// legitimate for the counting metrics, where the slack term supplies
+	// the tolerance a zero baseline needs. Note NaN fails every
+	// comparison, so the checks must be written with negated comparisons.
+	minValid := 0.0
+	if metric == "ns_per_op" {
+		minValid = 1 // decoded-as-zero missing rows must not pass
 	}
-	if !(fb.NsPerOp > 0) {
-		return fmt.Errorf("fresh report %q has non-positive ns_per_op %v in %s", name, fb.NsPerOp, freshPath)
+	if !(bv >= minValid) || (bv == 0 && slack <= 0) {
+		return fmt.Errorf("baseline %q has unusable %s %v (slack %v); regenerate %s", name, metric, bv, slack, baselinePath)
 	}
-	pct := 100 * (fb.NsPerOp - bb.NsPerOp) / bb.NsPerOp
-	if pct > maxPct {
-		return fmt.Errorf("%s regressed %.1f%% (baseline %.1f ns/op, now %.1f ns/op, limit +%.0f%%)",
-			name, pct, bb.NsPerOp, fb.NsPerOp, maxPct)
+	if !(fv >= minValid) {
+		return fmt.Errorf("fresh report %q has unusable %s %v in %s", name, metric, fv, freshPath)
 	}
-	fmt.Printf("%s: %.1f ns/op vs baseline %.1f ns/op (%+.1f%%, limit +%.0f%%)\n",
-		name, fb.NsPerOp, bb.NsPerOp, pct, maxPct)
+	limit := bv*(1+maxPct/100) + slack
+	if fv > limit {
+		return fmt.Errorf("%s %s regressed: baseline %.1f, now %.1f, limit %.1f (+%.0f%% +%.0f)",
+			name, metric, bv, fv, limit, maxPct, slack)
+	}
+	fmt.Printf("%s %s: %.1f vs baseline %.1f (limit %.1f)\n", name, metric, fv, bv, limit)
 	return nil
 }

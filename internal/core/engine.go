@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"piper/internal/arena"
 	"piper/internal/deque"
 	"piper/internal/workload"
 )
@@ -80,6 +81,13 @@ type Options struct {
 	// GrainMax caps adaptive grain growth (0 means 64). Ignored when
 	// Grain > 0 fixes the run length.
 	GrainMax int
+	// ArenaBuffers enables the engine's recycled payload-buffer arena
+	// (on by default via DefaultOptions; see Engine.Arena and
+	// internal/arena). Disable only for ablation: Engine.Arena then
+	// returns a pass-through arena whose Get always allocates fresh
+	// storage and whose Release hands it to the GC, with the full Ref
+	// ownership API (and the LiveArenaBytes gauge) intact.
+	ArenaBuffers bool
 
 	// hooks is the test-only schedule-perturbation injection point (see
 	// hooks.go). Always nil on production engines; settable only from
@@ -104,6 +112,7 @@ func DefaultOptions() Options {
 		TailSwap:          true,
 		PoolFrames:        true,
 		InlineFastPath:    true,
+		ArenaBuffers:      true,
 	}
 }
 
@@ -187,6 +196,11 @@ type Engine struct {
 	workers []*worker // MaxWorkers slots; liveN of them are running
 	stats   statCounters
 	pools   framePools
+
+	// arena is the engine's payload-buffer arena (see Engine.Arena):
+	// recycled, cache-aligned, ref-counted regions the data-plane
+	// workloads flow through pipeline stages. Immutable after NewEngine.
+	arena *arena.Arena
 
 	// canGrow caches opts.elastic(): checked on the signal path when the
 	// idle set is empty, a plain immutable bool so the fixed-P fast path
@@ -273,6 +287,7 @@ func NewEngine(opts Options) *Engine {
 		closingCh: make(chan struct{}),
 		canGrow:   opts.elastic(),
 		hooks:     opts.hooks,
+		arena:     arena.New(opts.ArenaBuffers),
 	}
 	if opts.MaxPending > 0 {
 		e.admitCh = make(chan struct{}, opts.MaxPending)
@@ -381,6 +396,15 @@ func (e *Engine) Options() Options { return e.opts }
 // pool size is Stats().LiveWorkers.
 func (e *Engine) Workers() int { return e.opts.Workers }
 
+// Arena returns the engine's payload-buffer arena: recycled, cache-line-
+// aligned, ref-counted byte regions that pipeline stages pass by hand-off
+// instead of copying (see internal/arena for the ownership contract).
+// With Options.ArenaBuffers disabled the arena is a pass-through whose
+// ownership API still works but which never recycles — the ablation
+// configuration. The arena's gauges surface in Stats as LiveArenaBytes,
+// ArenaBytesRecycled, and the ArenaGets/Puts/Misses counters.
+func (e *Engine) Arena() *arena.Arena { return e.arena }
+
 // Stats returns a snapshot of the scheduler counters.
 func (e *Engine) Stats() Stats {
 	s := e.stats.snapshot()
@@ -393,6 +417,12 @@ func (e *Engine) Stats() Stats {
 	if e.admitCh != nil {
 		s.PendingAdmitted = int64(len(e.admitCh))
 	}
+	ac := e.arena.Stats()
+	s.LiveArenaBytes = ac.LiveBytes
+	s.ArenaBytesRecycled = ac.RecycledBytes
+	s.ArenaGets = ac.Gets
+	s.ArenaPuts = ac.Puts
+	s.ArenaMisses = ac.Misses
 	return s
 }
 

@@ -32,20 +32,23 @@ func settles(timeout time.Duration, cond func() bool) bool {
 	}
 }
 
-// checkEngineDrained asserts that e holds no live frames: every iteration
-// frame, closure frame, and pipeline acquired has been retired. Call with
-// all pipelines completed but the engine still open. Gauges may trail a
-// completion signal by one worker step, hence the settle loop.
+// checkEngineDrained asserts that e holds no live frames or arena bytes:
+// every iteration frame, closure frame, and pipeline acquired has been
+// retired, and every payload region checked out of the engine's arena has
+// been released. Call with all pipelines completed but the engine still
+// open. Gauges may trail a completion signal by one worker step, hence
+// the settle loop.
 func checkEngineDrained(t testing.TB, e *Engine) {
 	t.Helper()
 	ok := settles(5*time.Second, func() bool {
 		s := e.Stats()
-		return s.LiveIterFrames == 0 && s.LiveClosureFrames == 0 && s.LivePipelines == 0
+		return s.LiveIterFrames == 0 && s.LiveClosureFrames == 0 && s.LivePipelines == 0 &&
+			s.LiveArenaBytes == 0
 	})
 	if !ok {
 		s := e.Stats()
-		t.Errorf("engine not drained: %d live iteration frames, %d live closure frames, %d live pipelines",
-			s.LiveIterFrames, s.LiveClosureFrames, s.LivePipelines)
+		t.Errorf("engine not drained: %d live iteration frames, %d live closure frames, %d live pipelines, %d live arena bytes",
+			s.LiveIterFrames, s.LiveClosureFrames, s.LivePipelines, s.LiveArenaBytes)
 	}
 }
 

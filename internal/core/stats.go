@@ -131,6 +131,21 @@ type Stats struct {
 	// top-level submitted pipelines admitted and not yet completed. Zero
 	// when MaxPending is 0 (no budget).
 	PendingAdmitted int64
+	// LiveArenaBytes is the gauge of payload-buffer bytes currently
+	// checked out of the engine's arena (Engine.Arena): charged at Get,
+	// discharged at the final Release. Zero once every pipeline has
+	// completed and released its regions — the data-plane leak invariant,
+	// the arena analogue of the Live*Frames gauges above.
+	LiveArenaBytes int64
+	// ArenaBytesRecycled accumulates the capacity of every arena region
+	// returned to a size-class pool. Always zero with
+	// Options.ArenaBuffers disabled (the no-recycling ablation).
+	ArenaBytesRecycled int64
+	// ArenaGets, ArenaPuts and ArenaMisses count arena region checkouts,
+	// returns to the pools, and checkouts that allocated fresh storage
+	// because no pooled region of the size class was available. A
+	// steady-state pipeline has Misses ≪ Gets.
+	ArenaGets, ArenaPuts, ArenaMisses int64
 }
 
 // statCounters is the atomic backing store inside the engine.

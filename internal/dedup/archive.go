@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Archive format:
@@ -48,6 +49,7 @@ type Writer struct {
 	w       io.Writer
 	err     error
 	scratch [binary.MaxVarintLen64]byte
+	kind    [1]byte // record-kind byte, kept off the heap
 	total   int64
 	uniques int64
 }
@@ -67,6 +69,11 @@ func (aw *Writer) uvarint(v uint64) {
 	_, aw.err = aw.w.Write(aw.scratch[:n])
 }
 
+func (aw *Writer) kindByte(k byte) {
+	aw.kind[0] = k
+	_, aw.err = aw.w.Write(aw.kind[:])
+}
+
 // WriteRecord appends one record.
 func (aw *Writer) WriteRecord(r *Record) {
 	if aw.err != nil {
@@ -74,11 +81,11 @@ func (aw *Writer) WriteRecord(r *Record) {
 	}
 	aw.total += int64(r.RawLen)
 	if r.Dup {
-		_, aw.err = aw.w.Write([]byte{recRef})
+		aw.kindByte(recRef)
 		aw.uvarint(uint64(r.RefIndex))
 		return
 	}
-	_, aw.err = aw.w.Write([]byte{recUnique})
+	aw.kindByte(recUnique)
 	aw.uvarint(uint64(r.RawLen))
 	aw.uvarint(uint64(len(r.Compressed)))
 	if aw.err == nil {
@@ -95,9 +102,7 @@ func (aw *Writer) Close() error {
 	if aw.err != nil {
 		return aw.err
 	}
-	if _, err := aw.w.Write([]byte{recEnd}); err != nil {
-		return err
-	}
+	aw.kindByte(recEnd)
 	aw.uvarint(uint64(aw.total))
 	return aw.err
 }
@@ -167,20 +172,54 @@ func Restore(archive []byte) ([]byte, error) {
 	}
 }
 
-// Compress deflates one chunk.
-func Compress(chunk []byte) []byte {
-	var buf bytes.Buffer
-	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+// compressor pairs a reusable deflate state with the append sink it
+// writes into. flate.NewWriter allocates the full ~600KiB deflate state
+// per call, which dominated the pipeline's allocation profile; Reset
+// recycles it instead.
+type compressor struct {
+	fw   *flate.Writer
+	sink sliceWriter
+}
+
+// sliceWriter is an io.Writer appending into a caller-provided slice.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+var compressorPool = sync.Pool{New: func() any {
+	fw, err := flate.NewWriter(io.Discard, flate.BestSpeed)
 	if err != nil {
 		panic(err) // only fails for invalid levels
 	}
-	if _, err := fw.Write(chunk); err != nil {
-		panic(err) // bytes.Buffer cannot fail
+	return &compressor{fw: fw}
+}}
+
+// CompressInto deflates chunk, appending the stream to dst (which may be
+// nil or a recycled buffer resliced to length 0) and returning the grown
+// slice. The deflate state is pooled across calls, so the steady state
+// allocates nothing beyond dst growth.
+func CompressInto(dst, chunk []byte) []byte {
+	c := compressorPool.Get().(*compressor)
+	c.sink.b = dst
+	c.fw.Reset(&c.sink)
+	if _, err := c.fw.Write(chunk); err != nil {
+		panic(err) // sliceWriter cannot fail
 	}
-	if err := fw.Close(); err != nil {
+	if err := c.fw.Close(); err != nil {
 		panic(err)
 	}
-	return buf.Bytes()
+	out := c.sink.b
+	c.sink.b = nil // don't pin the caller's buffer in the pool
+	compressorPool.Put(c)
+	return out
+}
+
+// Compress deflates one chunk into a fresh buffer.
+func Compress(chunk []byte) []byte {
+	return CompressInto(nil, chunk)
 }
 
 func inflate(comp []byte, rawLen int) ([]byte, error) {

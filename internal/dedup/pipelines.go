@@ -3,8 +3,10 @@ package dedup
 import (
 	"crypto/sha1"
 	"io"
+	"sync"
 
 	"piper"
+	"piper/internal/arena"
 	"piper/internal/bindstage"
 	"piper/internal/tbbpipe"
 )
@@ -13,7 +15,20 @@ import (
 type task struct {
 	rec   Record
 	chunk []byte
+	// buf is the arena region backing rec.Compressed on the piper
+	// pipeline; nil for duplicates and on the non-arena executors.
+	buf *arena.Ref
 }
+
+// taskPool recycles task headers across iterations; the piper pipeline
+// returns each task at the end of its body (after the serial write
+// stage, when nothing references it anymore).
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+// compressBound is a safe output-capacity hint for deflating n bytes:
+// deflate's stored-block worst case adds ~5 bytes per 64KiB window plus
+// a small header, so n plus a 1/16 margin and a constant always fits.
+func compressBound(n int) int { return n + n>>4 + 64 }
 
 // dupTable maps SHA-1 sums to unique-chunk indices. It is only touched
 // from the serial deduplicate stage, so it needs no lock under any of the
@@ -70,26 +85,45 @@ func CompressSerial(data []byte, out io.Writer) error {
 // stage 0 reads and chunks, stage 1 (serial, pipe_wait) deduplicates,
 // stage 2 (parallel, pipe_continue) compresses, stage 3 (serial,
 // pipe_wait) writes the archive.
+//
+// The data plane is arena-backed: chunks alias the input, each unique
+// chunk's deflate stream lands in a region checked out of the engine's
+// arena in the parallel stage, and the region releases after the serial
+// write stage copied it out — via defer, so cancellation or a panic
+// unwinding the body cannot leak it. Steady state allocates nothing per
+// chunk.
 func CompressPiper(eng *piper.Engine, k int, data []byte, out io.Writer) error {
 	aw := NewWriter(out)
 	table := newDupTable()
 	c := NewChunker(data)
+	a := eng.Arena()
 	var seq int64
 	piper.PipeThrottled(eng, k, func() ([]byte, bool) {
 		chunk := c.Next()
 		return chunk, chunk != nil
 	}, func(it *piper.Iter, chunk []byte) {
-		t := &task{chunk: chunk}
-		t.rec.Seq = seq
-		t.rec.RawLen = len(chunk)
+		t := taskPool.Get().(*task)
+		t.chunk = chunk
+		t.rec = Record{Seq: seq, RawLen: len(chunk)}
 		seq++
+		defer func() {
+			if t.buf != nil {
+				t.buf.Release()
+				t.buf = nil
+			}
+			t.chunk = nil
+			t.rec = Record{}
+			taskPool.Put(t)
+		}()
 
 		it.Wait(1) // serial: deduplicate
 		table.classify(t)
 
 		it.Continue(2) // parallel: compress
 		if !t.rec.Dup {
-			t.rec.Compressed = Compress(chunk)
+			t.buf = a.Get(compressBound(len(t.chunk)))
+			t.buf.B = CompressInto(t.buf.B, t.chunk)
+			t.rec.Compressed = t.buf.B
 		}
 
 		it.Wait(3) // serial: write

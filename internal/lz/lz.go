@@ -26,6 +26,13 @@ type Factor struct {
 	Lit byte
 }
 
+// scratchLen is the factorizer's working-memory requirement for an
+// n-byte block, in int32 elements: five n-sized arrays plus one extra
+// slot for the (n+1)-sized counting-sort table. The layout is carved by
+// factorizeInto; the suffix sorter's rank/tmp/buf arrays are dead once
+// the sort returns, so the ISA/PSV/NSV sweep reuses their slots.
+func scratchLen(n int) int { return 5*n + 1 }
+
 // Factorize computes the greedy LZ77 factorization of data: at each
 // position the longest match against any earlier position (or a literal
 // when no match exists). Factors never reference before the start of
@@ -35,10 +42,29 @@ func Factorize(data []byte) []Factor {
 	if n == 0 {
 		return nil
 	}
-	sa := suffixArray(data)
+	return factorizeInto(data, make([]int32, scratchLen(n)), make([]Factor, 0, 16+n/8))
+}
+
+// factorizeInto is Factorize on caller-provided working memory: backing
+// must hold at least scratchLen(len(data)) int32 elements (their contents
+// do not matter), and factors are appended to dst. A dst with capacity
+// len(data) never reallocates — every factor consumes at least one input
+// position. The pipeline feeds both from recycled arena regions.
+func factorizeInto(data []byte, backing []int32, dst []Factor) []Factor {
+	n := len(data)
+	if n == 0 {
+		return dst
+	}
+	sa := backing[:n:n]
+	isa := backing[n : 2*n : 2*n]
+	psv := backing[2*n : 3*n : 3*n]
+	nsv := backing[3*n : 4*n : 4*n]
+	ext := backing[4*n : 5*n+1 : 5*n+1]
+	// The suffix sort borrows the isa/psv/nsv slots as rank/tmp/buf and
+	// ext as its counting table; only sa survives it.
+	suffixArrayInto(data, sa, isa, psv, nsv, ext)
 	// isa is the inverse permutation: isa[p] is the lexicographic rank of
 	// the suffix starting at p.
-	isa := make([]int32, n)
 	for r, p := range sa {
 		isa[p] = int32(r)
 	}
@@ -48,9 +74,7 @@ func Factorize(data []byte) []Factor {
 	// previous match of SA[r] (any other earlier suffix is lexicographically
 	// farther, hence shares a no-longer common prefix). Computed with the
 	// classic all-nearest-smaller-values stack sweep.
-	psv := make([]int32, n)
-	nsv := make([]int32, n)
-	stack := make([]int32, 0, 64)
+	stack := ext[:0]
 	for r := 0; r < n; r++ {
 		p := sa[r]
 		for len(stack) > 0 && stack[len(stack)-1] > p {
@@ -91,7 +115,6 @@ func Factorize(data []byte) []Factor {
 		}
 		return l
 	}
-	factors := make([]Factor, 0, 16+n/8)
 	for p := 0; p < n; {
 		r := isa[p]
 		q1, q2 := psv[r], nsv[r]
@@ -103,14 +126,14 @@ func Factorize(data []byte) []Factor {
 			src, l = q2, l2
 		}
 		if l == 0 {
-			factors = append(factors, Factor{Lit: data[p]})
+			dst = append(dst, Factor{Lit: data[p]})
 			p++
 			continue
 		}
-		factors = append(factors, Factor{Dist: int32(p) - src, Len: l})
+		dst = append(dst, Factor{Dist: int32(p) - src, Len: l})
 		p += int(l)
 	}
-	return factors
+	return dst
 }
 
 // Reconstruct expands factors into dst (which must be empty or nil) and
@@ -131,21 +154,20 @@ func Reconstruct(dst []byte, factors []Factor) []byte {
 	return dst
 }
 
-// suffixArray builds the suffix array of data by prefix doubling with a
-// two-pass radix sort per round — O(n log n), no dependencies, and byte
-// alphabets need no initial sort.Slice. n is bounded by block sizes
-// (int32 ranks), which the pipeline enforces.
-func suffixArray(data []byte) []int32 {
+// suffixArrayInto builds the suffix array of data into sa by prefix
+// doubling with a two-pass radix sort per round — O(n log n), no
+// dependencies, and byte alphabets need no initial sort.Slice. n is
+// bounded by block sizes (int32 ranks), which the pipeline enforces.
+// rank, tmp and buf must be n-sized, count (n+1)-sized; all four are
+// working memory with no surviving content.
+func suffixArrayInto(data []byte, sa, rank, tmp, buf, count []int32) {
 	n := len(data)
-	sa := make([]int32, n)
-	rank := make([]int32, n)
-	tmp := make([]int32, n)
 	for i := 0; i < n; i++ {
 		sa[i] = int32(i)
 		rank[i] = int32(data[i])
 	}
 	if n < 2 {
-		return sa
+		return
 	}
 	// Initial order by first byte (counting sort over the 256-symbol
 	// alphabet), then compress the byte values into dense ranks so the
@@ -172,11 +194,9 @@ func suffixArray(data []byte) []int32 {
 	}
 	rank, tmp = tmp, rank
 	if int(dense) == n-1 {
-		return sa
+		return
 	}
 
-	buf := make([]int32, n)
-	count := make([]int32, n+1)
 	for h := 1; ; h *= 2 {
 		// Sort by (rank[i], rank[i+h]) pairs. Radix pass 1: order by the
 		// second key — suffixes with i+h >= n (empty second key) come
@@ -229,7 +249,6 @@ func suffixArray(data []byte) []int32 {
 			break
 		}
 	}
-	return sa
 }
 
 // naiveFactorize is the quadratic reference factorizer used by the tests:

@@ -4,8 +4,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"unsafe"
 
 	"piper"
+	"piper/internal/arena"
 )
 
 // Block pipeline: the input splits into fixed-size blocks, each factorized
@@ -51,9 +54,29 @@ func appendBlock(dst []byte, factors []Factor) []byte {
 	return dst
 }
 
+// job carries one block through the pipeline; scratch backs the
+// factorizer's int32 working arrays and fref the factor output, both
+// checked out of the engine's arena in the parallel stage.
+type job struct {
+	block   []byte
+	factors []Factor
+	scratch *arena.Ref
+	fref    *arena.Ref
+}
+
+// jobPool recycles job headers; each body returns its job after the
+// serial encode stage.
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
 // Compress factorizes data on eng with blockSize-byte blocks (0 means
 // DefaultBlockSize) and returns the encoded stream. k is the throttling
 // limit (0 means the engine default).
+//
+// Each block's factorization runs entirely in recycled arena regions —
+// one for the suffix-sort working arrays, one holding the factor list
+// until the serial stage encodes it — released by defer at body end, so
+// cancellation and panic unwinding cannot leak them. The steady state
+// allocates nothing per block.
 func Compress(eng *piper.Engine, k int, data []byte, blockSize int) []byte {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
@@ -61,12 +84,12 @@ func Compress(eng *piper.Engine, k int, data []byte, blockSize int) []byte {
 	if blockSize > maxBlockSize {
 		blockSize = maxBlockSize
 	}
-	out := appendUvarint(nil, uint64(len(data)))
+	// Presize for an output as large as the input plus header margin: any
+	// compressible stream fits without reallocation, so the encode stage's
+	// only allocation is this one up-front buffer.
+	out := appendUvarint(make([]byte, 0, 64+len(data)+len(data)/16), uint64(len(data)))
 	out = appendUvarint(out, uint64(blockSize))
-	type job struct {
-		block   []byte
-		factors []Factor
-	}
+	a := eng.Arena()
 	off := 0
 	piper.PipeThrottled(eng, k, func() (*job, bool) {
 		if off >= len(data) {
@@ -76,12 +99,30 @@ func Compress(eng *piper.Engine, k int, data []byte, blockSize int) []byte {
 		if end > len(data) {
 			end = len(data)
 		}
-		j := &job{block: data[off:end]}
+		j := jobPool.Get().(*job)
+		j.block = data[off:end]
 		off = end
 		return j, true
 	}, func(it *piper.Iter, j *job) {
+		defer func() {
+			if j.fref != nil {
+				j.fref.Release()
+				j.fref = nil
+			}
+			if j.scratch != nil {
+				j.scratch.Release()
+				j.scratch = nil
+			}
+			j.block, j.factors = nil, nil
+			jobPool.Put(j)
+		}()
 		it.Continue(1) // parallel: factorize the block
-		j.factors = Factorize(j.block)
+		n := len(j.block)
+		j.scratch = a.Get(scratchLen(n) * 4)
+		j.fref = a.Get(n * int(unsafe.Sizeof(Factor{})))
+		j.factors = factorizeInto(j.block,
+			arena.View[int32](j.scratch, scratchLen(n)),
+			arena.View[Factor](j.fref, n)[:0])
 		it.Wait(2) // serial, in order: encode
 		out = appendBlock(out, j.factors)
 	})

@@ -1,7 +1,10 @@
 package vidsim
 
 import (
+	"sync"
 	"sync/atomic"
+
+	"piper/internal/arena"
 )
 
 // Config sets the encoder parameters that matter for scheduling.
@@ -28,20 +31,43 @@ func DefaultConfig() Config {
 type Recon struct {
 	Frame    int
 	Pix      []byte
+	ref      *arena.Ref // arena region backing Pix; nil off the arena path
 	rowsDone atomic.Int32 // completed macroblock rows
 }
 
 // RowsDone reports how many MB rows of the reconstruction are complete.
 func (rc *Recon) RowsDone() int { return int(rc.rowsDone.Load()) }
 
+// retain adds a reference to the arena region backing Pix. No-op for
+// reconstructions allocated off the arena path.
+func (rc *Recon) retain() {
+	if rc.ref != nil {
+		rc.ref.Retain()
+	}
+}
+
+// release drops one reference to the backing arena region, recycling the
+// pixels once the last holder lets go. Nil-safe so callers can release a
+// possibly-absent predecessor unconditionally.
+func (rc *Recon) release() {
+	if rc != nil && rc.ref != nil {
+		rc.ref.Release()
+	}
+}
+
 // Encoder encodes one video with shared, immutable configuration.
 // Its methods are safe for concurrent use on distinct frames/rows as long
 // as the pipeline dependencies are respected; the violations counter
 // records any read of reconstruction rows that were not yet complete.
 type Encoder struct {
-	Video      *Video
-	Cfg        Config
+	Video *Video
+	Cfg   Config
+	// A, when set, backs reconstruction buffers with recycled arena
+	// regions; nil means plain allocation (the serial and threaded
+	// baselines, which never release).
+	A          *arena.Arena
 	violations atomic.Int64
+	scratch    sync.Pool // spare *Recon for EncodeB's no-reference path
 }
 
 // NewEncoder wraps a video.
@@ -56,9 +82,19 @@ func NewEncoder(v *Video, cfg Config) *Encoder {
 // correct scheduler).
 func (e *Encoder) Violations() int64 { return e.violations.Load() }
 
-// NewRecon allocates the reconstruction buffer for frame fi.
+// NewRecon allocates the reconstruction buffer for frame fi: a recycled
+// arena region when the encoder is arena-backed, a fresh slice otherwise.
+// Recycled pixels are not zeroed — every pixel an encode reads (intra
+// neighbours, completed reference rows) was written first, and the
+// determinism tests against the serial encoder hold the proof.
 func (e *Encoder) NewRecon(fi int) *Recon {
-	return &Recon{Frame: fi, Pix: make([]byte, e.Video.W*e.Video.H)}
+	n := e.Video.W * e.Video.H
+	if e.A == nil {
+		return &Recon{Frame: fi, Pix: make([]byte, n)}
+	}
+	ref := e.A.Get(n)
+	ref.B = ref.B[:n]
+	return &Recon{Frame: fi, Pix: ref.B, ref: ref}
 }
 
 // searchRange is the motion-search radius in pixels for a given row
@@ -258,7 +294,17 @@ func (e *Encoder) EncodeB(bi int, fwd, bwd *Recon) (int64, uint64) {
 	src := v.Frames[bi]
 	var bits int64
 	var sum uint64 = 1469598103934665603
-	scratch := &Recon{Pix: make([]byte, len(src))}
+	// The intra scratch reconstruction is only needed when a block has no
+	// reference at all (fwd == bwd == nil, right after a cut with no
+	// successor) — allocate it lazily from the encoder's pool instead of
+	// burning a frame-sized buffer on every call.
+	var scratch *Recon
+	defer func() {
+		if scratch != nil {
+			scratch.rowsDone.Store(0)
+			e.scratch.Put(scratch)
+		}
+	}()
 	for r := 0; r < rows; r++ {
 		for c := 0; c < v.Cols(); c++ {
 			x0, y0 := c*MB, r*MB
@@ -275,7 +321,17 @@ func (e *Encoder) EncodeB(bi int, fwd, bwd *Recon) (int64, uint64) {
 				}
 			}
 			if best == int64(1)<<62 {
-				// No reference at all: intra-code the block.
+				// No reference at all: intra-code the block. Blocks
+				// intra-code in raster order (the references are fixed for
+				// the whole call), so every neighbour dcPredict reads was
+				// written this call — a recycled scratch needs no zeroing.
+				if scratch == nil {
+					if sp, ok := e.scratch.Get().(*Recon); ok {
+						scratch = sp
+					} else {
+						scratch = &Recon{Pix: make([]byte, len(src))}
+					}
+				}
 				b, g := e.encodeIntraMB(bi, r, c, scratch)
 				bits += b
 				sum = (sum ^ g) * 1099511628211

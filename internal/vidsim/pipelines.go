@@ -140,8 +140,16 @@ func refFor(job *ipJob) *Recon {
 // stage per macroblock row with a data-dependent pipe_wait (P) or
 // pipe_continue (I), a parallel B-frame stage (cilk_for), and a serial
 // write stage.
+// Reconstruction buffers live on the engine's arena and flow by ownership
+// hand-off: stage 0 of each job takes out two references on its fresh
+// reconstruction — one for the job's own row loop and B-batch, one that
+// rides the prevRef chain slot and transfers to the successor job as its
+// motion-search reference. Each body releases its own pair by defer, so a
+// cancellation or panic unwinding the body cannot leak pixels; the final
+// chain reference is released when the pipeline returns.
 func EncodePiper(eng *piper.Engine, k int, v *Video, cfg Config) *Result {
 	e := NewEncoder(v, cfg)
+	e.A = eng.Arena()
 	cfg = e.Cfg
 	d := NewTypeDecider(v, cfg.Gop, cfg.BRun, cfg.CutThresh)
 	stats := make([]FrameStat, len(v.Frames))
@@ -149,15 +157,21 @@ func EncodePiper(eng *piper.Engine, k int, v *Video, cfg Config) *Result {
 	var prevRef *Recon
 	cursor, iterIdx := 0, 0
 	rows := v.Rows()
+	defer func() { prevRef.release() }() // last job's chain reference
 
 	piper.PipeThrottled(eng, k, func() (*ipJob, bool) {
 		return gather(d, len(v.Frames), &cursor)
 	}, func(it *piper.Iter, job *ipJob) {
 		// Still stage 0 (serial): allocate the reconstruction and link the
-		// reference chain.
+		// reference chain. The chain slot's reference is taken here, while
+		// the slot is exclusively ours; the predecessor's chain reference
+		// transfers to this job and is released when the body finishes.
 		job.prev = prevRef
 		job.rc = e.NewRecon(job.fi)
+		job.rc.retain() // the chain slot's reference
 		prevRef = job.rc
+		defer job.rc.release()
+		defer job.prev.release()
 		skip := int64(cfg.W * iterIdx)
 		iterIdx++
 

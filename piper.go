@@ -182,6 +182,18 @@ func GrainMax(g int) Option {
 	return func(o *core.Options) { o.GrainMax = g }
 }
 
+// ArenaBuffers toggles the engine's recycled payload-buffer arena
+// (default on). Engine.Arena hands pipeline stages recycled, cache-line-
+// aligned, ref-counted byte regions that flow through stages by ownership
+// hand-off (Retain on publish, Release at the consuming stage) instead of
+// per-item allocation — the data-plane counterpart of frame pooling. When
+// disabled, the arena keeps its full Ref API and leak gauges but never
+// recycles: every Get allocates and every final Release goes to the GC,
+// which is the ablation configuration for measuring what recycling buys.
+func ArenaBuffers(enabled bool) Option {
+	return func(o *core.Options) { o.ArenaBuffers = enabled }
+}
+
 // InlineFastPath toggles tier-1 inline execution (default on): a worker
 // first drives each iteration as direct function calls on its own stack —
 // no runner goroutine, no channel handshake — and promotes it to a full
