@@ -9,7 +9,7 @@
 // Experiments: fig6 (ferret), fig7 (dedup), fig8 (x264), fig9 (pipe-fib
 // dependency folding), thm12 (uniform throttling), fig10 (pathological
 // pipeline), ablate (Section 9 optimizations), arena (data-plane buffer
-// recycling on/off), all.
+// recycling on/off), plan (plan compiler on/off), all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig6|fig7|fig8|fig9|thm12|fig10|ablate|adaptive|elastic|grain|arena|all")
+		experiment = flag.String("experiment", "all", "fig6|fig7|fig8|fig9|thm12|fig10|ablate|adaptive|elastic|grain|arena|plan|all")
 		size       = flag.String("size", "small", "small|native")
 		plist      = flag.String("plist", "", "comma-separated worker counts (default 1,2,...,NumCPU)")
 		pmax       = flag.Int("pmax", runtime.NumCPU(), "worker count for single-P experiments")
@@ -124,9 +124,10 @@ func main() {
 		"elastic":  func() { bench.Elasticity(os.Stdout, *pmax, sz) },
 		"grain":    func() { bench.GrainAblation(os.Stdout, *pmax, sz) },
 		"arena":    func() { bench.ArenaAblation(os.Stdout, *pmax, sz) },
+		"plan":     func() { bench.PlanAblation(os.Stdout, *pmax, sz) },
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig6", "fig7", "fig8", "fig9", "thm12", "fig10", "ablate", "adaptive", "elastic", "grain", "arena"} {
+		for _, name := range []string{"fig6", "fig7", "fig8", "fig9", "thm12", "fig10", "ablate", "adaptive", "elastic", "grain", "arena", "plan"} {
 			run[name]()
 		}
 		return

@@ -56,9 +56,17 @@ func ArenaAblation(w io.Writer, pmax int, sz SizeSpec) *Table {
 			if reps < 1 {
 				reps = 1
 			}
+			// The explicit GC (for a clean Mallocs bracket) pushes the
+			// warmed regions into the sync.Pool victim caches, one natural
+			// GC away from being freed — a collection triggered by the
+			// measured run's own allocations would then turn steady-state
+			// checkouts into misses. Re-warming after the GC pulls the
+			// inventory back into the primary caches, so it takes two
+			// mid-measurement collections to perturb the miss column.
 			var m0, m1 runtime.MemStats
-			before := e.Stats()
 			runtime.GC()
+			wk.body(e)
+			before := e.Stats()
 			runtime.ReadMemStats(&m0)
 			t0 := time.Now()
 			for i := 0; i < reps; i++ {

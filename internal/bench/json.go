@@ -48,6 +48,11 @@ type JSONBenchmark struct {
 	ArenaGets     float64 `json:"arena_gets_per_op"`
 	ArenaMisses   float64 `json:"arena_misses_per_op"`
 	ArenaRecycled float64 `json:"arena_recycled_bytes_per_op"`
+	// PlansCompiled and FusedStages are plan-compiler counter deltas per
+	// operation: execution plans sealed and stage transitions fused away.
+	// Zero on CompilePlans=false ablation rows.
+	PlansCompiled float64 `json:"plans_compiled_per_op"`
+	FusedStages   float64 `json:"fused_stages_per_op"`
 }
 
 // JSONReport is the top-level BENCH_piper.json document.
@@ -74,6 +79,8 @@ func statDelta(b *JSONBenchmark, before, after piper.Stats, n int) {
 	b.ArenaGets = float64(after.ArenaGets-before.ArenaGets) / d
 	b.ArenaMisses = float64(after.ArenaMisses-before.ArenaMisses) / d
 	b.ArenaRecycled = float64(after.ArenaBytesRecycled-before.ArenaBytesRecycled) / d
+	b.PlansCompiled = float64(after.PlansCompiled-before.PlansCompiled) / d
+	b.FusedStages = float64(after.PlanFusedStages-before.PlanFusedStages) / d
 }
 
 // runJSONBench runs one benchmark body against a dedicated engine and
@@ -109,7 +116,7 @@ func runJSONBench(name string, perIter int, mkEngine func() *piper.Engine, body 
 		BytesPerOp:  float64(r.AllocedBytesPerOp()) / div,
 	}
 	statDelta(&b, before, after, r.N)
-	for _, f := range []*float64{&b.Steals, &b.Parks, &b.Wakes, &b.PoolHits, &b.PoolMisses, &b.InlineIters, &b.Promotions, &b.BatchedIters, &b.BatchSplits, &b.ArenaGets, &b.ArenaMisses, &b.ArenaRecycled} {
+	for _, f := range []*float64{&b.Steals, &b.Parks, &b.Wakes, &b.PoolHits, &b.PoolMisses, &b.InlineIters, &b.Promotions, &b.BatchedIters, &b.BatchSplits, &b.ArenaGets, &b.ArenaMisses, &b.ArenaRecycled, &b.PlansCompiled, &b.FusedStages} {
 		*f /= div
 	}
 	return b
@@ -157,6 +164,11 @@ func JSONSuite(w io.Writer, filter string) error {
 		{"SerialOverheadPerIter/P1/Grain=1", spsIters, mk(1, piper.Grain(1)), empty},
 		{"SerialOverheadPerIter/P1/PoolFrames=false", spsIters, mk(1, piper.PoolFrames(false)), empty},
 		{"SerialOverheadPerIter/P1/InlineFastPath=false", spsIters, mk(1, piper.InlineFastPath(false)), empty},
+		// CompilePlans=false is the plan-compiler ablation pair for the two
+		// guarded per-iteration rows: the default rows above run compiled,
+		// these reproduce the interpreter-only baseline.
+		{"SerialOverheadPerIter/P1/CompilePlans=false", spsIters, mk(1, piper.CompilePlans(false)), empty},
+		{"SPSPerIter/P2/CompilePlans=false", spsIters, mk(2, piper.CompilePlans(false)), sps},
 		// BatchedSerialOverhead pins the adaptive-grain configuration
 		// explicitly (independent of engine defaults): the guarded metric
 		// for the batching regression smoke.
@@ -220,7 +232,12 @@ func WriteJSONFile(path, filter string) error {
 	return f.Close()
 }
 
-// loadBenchmark reads a JSONReport and finds the named benchmark row.
+// loadBenchmark reads a JSONReport and finds the named benchmark row. A
+// miss lists the rows the report does contain — the same affordance the
+// suite's no-match filter error gives — because the common mistake is a
+// renamed or newly added guard entry against a stale baseline (or a fresh
+// run filtered down to a different row), and "not found" alone sends the
+// caller off to re-run benchmarks instead of fixing the name.
 func loadBenchmark(path, name string) (JSONBenchmark, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -230,12 +247,18 @@ func loadBenchmark(path, name string) (JSONBenchmark, error) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return JSONBenchmark{}, err
 	}
+	available := make([]string, 0, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
 		if b.Name == name {
 			return b, nil
 		}
+		available = append(available, b.Name)
 	}
-	return JSONBenchmark{}, fmt.Errorf("benchmark %q not found in %s", name, path)
+	if len(available) == 0 {
+		return JSONBenchmark{}, fmt.Errorf("benchmark %q not found in %s (report has no rows)", name, path)
+	}
+	return JSONBenchmark{}, fmt.Errorf("benchmark %q not found in %s; available: %s",
+		name, path, strings.Join(available, ", "))
 }
 
 // metricOf extracts one guarded metric from a benchmark row by its JSON

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"piper"
+)
+
+// Plan-compiler ablation: what compiling a shape-stable pipeline into a
+// specialized execution plan buys over re-interpreting every stage
+// boundary. The empty-iteration column is the pure serial scheduling
+// floor (the SerialOverheadPerIter benchmarks), where the serial-only
+// plan's batched fast retire and grain seeding act; the SPS column is a
+// fine-grained three-stage serial-parallel-serial pipeline with a cross
+// edge, where the hoisted wait-table check and fused interior continues
+// act. The "plans off" row is the CompilePlans(false) interpreter
+// baseline the compiled rows are differenced against.
+
+// PlanAblation renders the plans on/off comparison.
+func PlanAblation(w io.Writer, pmax int, sz SizeSpec) *Table {
+	if pmax < 1 {
+		pmax = 1
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Plan compiler ablation (empty-iter floor at P=1; SPS at P=%d)", pmax),
+		Header: []string{"config", "empty ns/iter", "SPS ns/iter",
+			"plans", "fused", "deopts", "floor final G"},
+	}
+	type cfg struct {
+		name string
+		opt  []piper.Option
+	}
+	cfgs := []cfg{
+		{"plans on", nil},
+		{"plans off", []piper.Option{piper.CompilePlans(false)}},
+	}
+	emptyIters := 50000 * int64(sz.Reps)
+	spsIters := 50000 * int64(sz.Reps)
+	for _, c := range cfgs {
+		// Empty-iteration serial floor at P=1: the serial-only plan elides
+		// per-slot retirement bookkeeping and seeds the batch grain at the
+		// ceiling instead of ramping from G=1.
+		e1 := piper.NewEngine(append([]piper.Option{piper.Workers(1)}, c.opt...)...)
+		i := int64(0)
+		e1.PipeWhile(func() bool { return i < 1000 }, func(it *piper.Iter) { i++ }) // warm pools
+		i = 0
+		t0 := time.Now()
+		rep := e1.RunPipeline(0, func() bool { return i < emptyIters }, func(it *piper.Iter) { i++ })
+		perIter := time.Since(t0).Nanoseconds() / emptyIters
+		e1.Close()
+
+		// SPS pipeline at P=pmax: stage 0 reads a sequence point, stage 1 is
+		// open parallel work, stage 2 waits on the predecessor — the shape
+		// every planned wait specializes to one wait-table comparison — and
+		// stage 3 is a short fusable tail whose boundary the plan elides.
+		e2 := piper.NewEngine(append([]piper.Option{piper.Workers(pmax)}, c.opt...)...)
+		before := e2.Stats()
+		var acc int64
+		j := int64(0)
+		t1 := time.Now()
+		e2.RunPipeline(0, func() bool { return j < spsIters }, func(it *piper.Iter) {
+			v := j
+			j++
+			it.Continue(1)
+			v = v*31 + 1
+			it.Wait(2)
+			acc += v
+			it.Continue(3)
+			acc++
+		})
+		spsPerIter := time.Since(t1).Nanoseconds() / spsIters
+		after := e2.Stats()
+		e2.Close()
+
+		tbl.AddRow(c.name,
+			fmt.Sprintf("%d", perIter),
+			fmt.Sprintf("%d", spsPerIter),
+			fmt.Sprintf("%d", after.PlansCompiled-before.PlansCompiled),
+			fmt.Sprintf("%d", after.PlanFusedStages-before.PlanFusedStages),
+			fmt.Sprintf("%d", after.PlanDeopts-before.PlanDeopts),
+			fmt.Sprintf("%d", rep.FinalGrain))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"plans off is the CompilePlans(false) interpreter baseline; both rows run the same bodies",
+		"fused counts interior pipe_continue transitions whose boundary bookkeeping the plan elided (timing-dependent: stages must record short)",
+		"floor final G contrasts the seeded batch grain (plans on: starts at the ceiling after iteration 0) with the cold G=1 ramp")
+	if w != nil {
+		tbl.Fprint(w)
+	}
+	return tbl
+}

@@ -414,6 +414,60 @@ func TestElasticScaleUpShrinksGrain(t *testing.T) {
 	checkEngineDrained(t, e)
 }
 
+// TestIdleSpareDoesNotPinGrain is the regression test for the converse
+// failure of TestElasticScaleUpShrinksGrain: a floor worker that idles
+// because the offered load is one serial pipeline is NOT a reason to
+// shrink the grain. Before the idleThieves hysteresis, any nonzero idle
+// count vetoed growth, so a 2-worker engine running one serial-only
+// pipeline — the spare parked forever, stealing nothing — pinned the
+// grain at 1 and batching never engaged. The qualified signal (surplus
+// workers above MinWorkers, or steal activity since the last batch open)
+// shows neither here, so the grain must climb exactly as it does alone
+// on a single-worker pool. CompilePlans is disabled to isolate the
+// hysteresis fix from plan-seeded grain, which would mask a pinned ramp.
+func TestIdleSpareDoesNotPinGrain(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"fixed-spare", func() Options {
+			o := DefaultOptions()
+			o.Workers = 2
+			return o
+		}()},
+		{"elastic-floor", elasticOpts(2, 4, 5*time.Second)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			c.opts.CompilePlans = false
+			e := NewEngine(c.opts)
+			defer e.Close()
+
+			const n = 2000
+			i := 0
+			rep := e.RunPipeline(0, func() bool { return i < n }, func(it *Iter) {
+				i++
+				if it.Index() == 0 {
+					// Let the spare worker exhaust its scan and park: the rest
+					// of the run then opens every batch against a nonzero idle
+					// count, which is the condition the hysteresis must ignore.
+					time.Sleep(10 * time.Millisecond)
+				}
+			})
+			if rep.Iterations != n {
+				t.Fatalf("Iterations = %d, want %d", rep.Iterations, n)
+			}
+			if rep.FinalGrain <= 1 {
+				t.Errorf("FinalGrain = %d, want > 1 (a parked floor worker must not pin the grain)", rep.FinalGrain)
+			}
+			if s := e.Stats(); s.BatchedIterations == 0 {
+				t.Errorf("BatchedIterations = 0, want > 0 (batching never engaged)")
+			}
+			checkEngineDrained(t, e)
+		})
+	}
+}
+
 // TestRetireTransfersResiduals forces frames into a retiring worker's
 // injection ring and checks none are lost: the retire path drains them to
 // the overflow list where the remaining workers find them.

@@ -81,6 +81,20 @@ type Options struct {
 	// GrainMax caps adaptive grain growth (0 means 64). Ignored when
 	// Grain > 0 fixes the run length.
 	GrainMax int
+	// CompilePlans enables the pipeline plan compiler (on by default via
+	// DefaultOptions; see plan.go): iteration 0 of each pipeline runs
+	// under the interpreter with a trace recorder attached, and if it
+	// retires cleanly its transition shape is compiled into a specialized
+	// plan — fused short serial stages, a precomputed cross-edge wait
+	// table, elided per-boundary checks, and a static grain seed — that
+	// later iterations dispatch on, deoptimizing back to the interpreter
+	// the moment any iteration diverges from the recorded shape. Disable
+	// only for ablation: every iteration then re-derives the stage
+	// structure per boundary, as in the previous runtime. Plans are only
+	// compiled while DependencyFolding is on and EagerEnabling is off
+	// (the compiled dispatch subsumes the fold cache and never performs
+	// eager check-rights), and never for instrumented pipelines.
+	CompilePlans bool
 	// ArenaBuffers enables the engine's recycled payload-buffer arena
 	// (on by default via DefaultOptions; see Engine.Arena and
 	// internal/arena). Disable only for ablation: Engine.Arena then
@@ -112,6 +126,7 @@ func DefaultOptions() Options {
 		TailSwap:          true,
 		PoolFrames:        true,
 		InlineFastPath:    true,
+		CompilePlans:      true,
 		ArenaBuffers:      true,
 	}
 }
@@ -405,24 +420,77 @@ func (e *Engine) Workers() int { return e.opts.Workers }
 // ArenaBytesRecycled, and the ArenaGets/Puts/Misses counters.
 func (e *Engine) Arena() *arena.Arena { return e.arena }
 
-// Stats returns a snapshot of the scheduler counters.
-func (e *Engine) Stats() Stats {
-	s := e.stats.snapshot()
-	s.FramePoolHits = e.pools.hits.Load()
-	s.FramePoolMisses = e.pools.misses.Load()
-	s.LiveIterFrames = e.pools.liveIter.Load()
-	s.LiveClosureFrames = e.pools.liveClosure.Load()
-	s.LivePipelines = e.pools.livePipeline.Load()
-	s.LiveWorkers = int64(e.liveN.Load())
+// statGauges is the vector of point-in-time gauges Stats reads alongside
+// the monotone counters, comparable so the stability loop below can
+// detect a torn read pass.
+type statGauges struct {
+	poolHits, poolMisses              int64
+	liveIter, liveClosure, livePipes  int64
+	liveWorkers, pendingAdmitted      int64
+	arenaLive, arenaRecycled          int64
+	arenaGets, arenaPuts, arenaMisses int64
+}
+
+func (e *Engine) readGauges() statGauges {
+	g := statGauges{
+		poolHits:    e.pools.hits.Load(),
+		poolMisses:  e.pools.misses.Load(),
+		liveIter:    e.pools.liveIter.Load(),
+		liveClosure: e.pools.liveClosure.Load(),
+		livePipes:   e.pools.livePipeline.Load(),
+		liveWorkers: int64(e.liveN.Load()),
+	}
 	if e.admitCh != nil {
-		s.PendingAdmitted = int64(len(e.admitCh))
+		g.pendingAdmitted = int64(len(e.admitCh))
 	}
 	ac := e.arena.Stats()
-	s.LiveArenaBytes = ac.LiveBytes
-	s.ArenaBytesRecycled = ac.RecycledBytes
-	s.ArenaGets = ac.Gets
-	s.ArenaPuts = ac.Puts
-	s.ArenaMisses = ac.Misses
+	g.arenaLive = ac.LiveBytes
+	g.arenaRecycled = ac.RecycledBytes
+	g.arenaGets = ac.Gets
+	g.arenaPuts = ac.Puts
+	g.arenaMisses = ac.Misses
+	return g
+}
+
+// Stats returns a snapshot of the scheduler counters and gauges.
+//
+// Consistency contract: the monotone event counters are each exact at
+// their own read instant (they only ever grow within an engine lifetime).
+// The gauges — Live*Frames, LiveWorkers, PendingAdmitted, and the arena
+// fields — describe a single instant only when that instant is stable:
+// they are read through a bounded double-read loop that retries until two
+// consecutive passes over the whole gauge vector agree, so a snapshot
+// taken concurrently with scheduling activity can no longer pair, say, a
+// pre-cancellation LiveIterFrames with a post-cancellation
+// LiveArenaBytes merely because the fields were read microseconds apart.
+// Under sustained churn the loop gives up after a few attempts and
+// returns the last full pass — individually atomic, collectively
+// best-effort. On a quiescent engine (every pipeline completed or every
+// Handle waited) one pass is stable by construction and the gauges are
+// exact; the leak-check invariants (live gauges all zero) are asserted
+// only in that state.
+func (e *Engine) Stats() Stats {
+	g := e.readGauges()
+	for range 4 {
+		h := e.readGauges()
+		if h == g {
+			break
+		}
+		g = h
+	}
+	s := e.stats.snapshot()
+	s.FramePoolHits = g.poolHits
+	s.FramePoolMisses = g.poolMisses
+	s.LiveIterFrames = g.liveIter
+	s.LiveClosureFrames = g.liveClosure
+	s.LivePipelines = g.livePipes
+	s.LiveWorkers = g.liveWorkers
+	s.PendingAdmitted = g.pendingAdmitted
+	s.LiveArenaBytes = g.arenaLive
+	s.ArenaBytesRecycled = g.arenaRecycled
+	s.ArenaGets = g.arenaGets
+	s.ArenaPuts = g.arenaPuts
+	s.ArenaMisses = g.arenaMisses
 	return s
 }
 
@@ -516,6 +584,23 @@ type PipelineReport struct {
 	// semantics: span is an upper bound, so Parallelism is a lower
 	// bound).
 	WorkNs, SpanNs int64
+	// PlanCompiled reports whether iteration 0's recorded shape sealed a
+	// compiled execution plan (see plan.go). False when
+	// Options.CompilePlans is off, for instrumented runs, and when the
+	// recording was cut short by a panic, an abort, or a transition-count
+	// overflow.
+	PlanCompiled bool
+	// PlanStages is the compiled plan's node count (the recorded stage-0
+	// prefix plus one node per transition); 0 when no plan was sealed.
+	PlanStages int64
+	// PlanFusedStages counts the plan's fused transitions — interior
+	// pipe_continue boundaries between short stages elided at dispatch.
+	PlanFusedStages int64
+	// PlanDeopts counts retractions of this pipeline's plan: an
+	// iteration's transitions diverged from the recorded shape and the
+	// pipeline fell back to the interpreter (at most 1 per run; the
+	// field is a count for symmetry with Stats.PlanDeopts).
+	PlanDeopts int64
 }
 
 // Parallelism returns the measured T1/T∞, or 0 for uninstrumented runs.

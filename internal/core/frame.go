@@ -160,6 +160,15 @@ type frame struct {
 	// DependencyFolding ablation is off, which keeps the crossSatisfied
 	// fast path honest (a zero cache can never satisfy a stage j >= 1).
 	foldCache int64
+	// Compiled-plan dispatch state (see plan.go), all runner-local: plan
+	// is the immutable shape this incarnation dispatches on (nil:
+	// interpret), planCur the cursor into its transition list, crossDone
+	// the sticky wait-table bit (the predecessor can never block this
+	// iteration again), and rec the iteration-0 trace recorder.
+	plan      *plan
+	planCur   int
+	crossDone bool
+	rec       *planRecorder
 	// Runner-local stat shadows, flushed to the engine at finish.
 	nFoldHits, nCrossChecks int64
 
@@ -389,6 +398,100 @@ func (f *frame) runInlineBatch(w *worker, claim int64) inlineResult {
 	}
 }
 
+// runInlineBatchSerial is the compiled serial-only variant of
+// runInlineBatch, entered by step when the pipeline's sealed plan proved
+// iteration 0 never left stage 0 (plan.serialOnly) and this frame is
+// bound to that plan. While each slot's body indeed retires wholly inside
+// stage 0 with the plan intact, the per-slot publication protocol is
+// elided: no stageDone/statusDone stores, no statusRunning/waitStage
+// resets, no stat-shadow flushes — completion is published once, at batch
+// exit. That is sound because the batch holds the control frame for its
+// whole run: no successor frame exists to read the stage counter, and
+// nothing outside this goroutine observes the recycled slots. Any slot
+// that deviates — the plan was retracted, the body left stage 0 after
+// all, it panicked, or a fork-join promotion took the goroutine — falls
+// into a slow tail that replays the exact generic per-iteration sequence
+// and ends the batch, so divergence costs one shortened batch, never a
+// protocol difference.
+func (f *frame) runInlineBatchSerial(w *worker, claim int64) inlineResult {
+	e := f.eng
+	pl := f.pl
+	f.w = w
+	var started, deferred int64
+	flush := func() {
+		e.stats.inlineIters.Add(started)
+		if started > 1 {
+			e.stats.iterations.Add(started - 1)
+		}
+		if deferred > 0 {
+			e.stats.batchedIters.Add(deferred)
+		}
+	}
+	for {
+		claim--
+		f.batched = claim > 0
+		f.inline = true
+		started++
+		f.runBody()
+		if f.plan == nil || !f.inStage0 || f.panicked != nil || !f.inline {
+			// Slow tail: this slot diverged from the serial shape (or the
+			// plan was dropped mid-body). Replay the generic sequence for it
+			// and end the batch; the next batch re-reads the plan pointer
+			// and dispatches accordingly.
+			f.finishIter()
+			if !f.inline {
+				flush()
+				f.co.yield <- yieldMsg{kind: yDone}
+				return inlinePromoted
+			}
+			f.inline = false
+			if f.batched {
+				f.batched = false
+				deferred++
+				flush()
+				return inlineDoneOwned
+			}
+			if !f.inStage0 {
+				flush()
+				return inlineDoneReleased
+			}
+			flush()
+			return inlineDoneOwned
+		}
+		// Fast retire: the body ran wholly inside stage 0 with the plan
+		// intact, so the slot never parked, never published, and never
+		// touched its stat shadows (f.rec is nil past iteration 0; the
+		// cross-check counters stay zero with no transitions taken).
+		f.inline = false
+		if f.batched {
+			f.batched = false
+			deferred++
+		}
+		if claim <= 0 || pl.panicked() || pl.abortRequested() {
+			f.stage.Store(stageDone)
+			f.status.Store(statusDone)
+			f.dropPrev()
+			flush()
+			return inlineDoneOwned
+		}
+		e.hookAt(hookBatchSlot)
+		if !pl.safeCond() {
+			pl.phase = phaseDrain
+			f.stage.Store(stageDone)
+			f.status.Store(statusDone)
+			f.dropPrev()
+			flush()
+			return inlineDoneOwned
+		}
+		// Minimal in-place recycle: only index advances. stage stayed 0,
+		// status stayed statusRunning, inStage0 stayed true, the cursor
+		// never moved (no transitions in a serial plan), and prev was
+		// dropped by the first slot's entry path or is already nil.
+		f.index = pl.nextIndex
+		pl.nextIndex++
+	}
+}
+
 // resetBatchIter recycles f in place for the next claimed slot of an
 // inline batch. The batch still holds the control frame, so no successor
 // frame exists and nothing outside this goroutine can observe the
@@ -409,6 +512,14 @@ func (f *frame) resetBatchIter() {
 	f.inStage0 = true
 	f.foldCache = 0
 	f.nFoldHits, f.nCrossChecks = 0, 0
+	f.planCur = 0
+	f.crossDone = false
+	if f.plan != nil {
+		// A deopt retracts the published plan; later slots of the batch
+		// must observe it (a nil reload) rather than keep dispatching on
+		// the stale shape.
+		f.plan = pl.plan.Load()
+	}
 	f.curScope = nil
 	f.panicked = nil
 }
@@ -512,6 +623,11 @@ func (f *frame) drainScope(sc *scope) {
 // iteration is now satisfied.
 func (f *frame) finishIter() {
 	if f.kind == kindIter {
+		if f.rec != nil {
+			// The recording iteration retired: compile and publish the
+			// pipeline's plan before completion is announced.
+			f.pl.sealPlan(f)
+		}
 		f.instrFinishIteration()
 		f.stage.Store(stageDone)
 		f.dropPrev()

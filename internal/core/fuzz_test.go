@@ -246,6 +246,18 @@ func FuzzPipelineSchedule(f *testing.F) {
 		grain4.Grain = 4
 		adaptiveTight := DefaultOptions()
 		adaptiveTight.GrainMax = 4
+		// CompilePlans defaults on, so every config above except "ablated"
+		// (which disables dependency folding, a plan prerequisite) runs
+		// compiled dispatch; the interp twins ablate the compiler so the same
+		// programs also execute under the pure interpreter. Shape-unstable
+		// programs (per-iteration op lists differ) additionally exercise the
+		// deopt path inside the compiled configs themselves.
+		interpDefault := DefaultOptions()
+		interpDefault.CompilePlans = false
+		interpGrain1 := grain1
+		interpGrain1.CompilePlans = false
+		interpCoroutine := coroutinePooled
+		interpCoroutine.CompilePlans = false
 		for _, cfg := range []struct {
 			name string
 			opts Options
@@ -257,6 +269,9 @@ func FuzzPipelineSchedule(f *testing.F) {
 			{"grain1", grain1},
 			{"grain4", grain4},
 			{"adaptive-g4", adaptiveTight},
+			{"interp-default", interpDefault},
+			{"interp-grain1", interpGrain1},
+			{"interp-coroutine", interpCoroutine},
 		} {
 			got := runFuzzProgram(t, p, cfg.opts)
 			for i := range want {

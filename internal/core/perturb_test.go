@@ -83,6 +83,16 @@ func TestSchedulePerturbationMatrix(t *testing.T) {
 	adaptive.GrainMax = 8
 	coroutine := DefaultOptions()
 	coroutine.InlineFastPath = false
+	// CompilePlans defaults on, so the three base configs exercise compiled
+	// dispatch (the oracle programs are shape-stable, so their plans seal on
+	// iteration 0); the -interp twins ablate the compiler so every program
+	// also runs under the pure interpreter with identical perturbation
+	// seeds. Bit-identical output across the pairing is the differential
+	// guarantee the plan compiler is held to.
+	interp := func(o Options) Options {
+		o.CompilePlans = false
+		return o
+	}
 	configs := []struct {
 		name string
 		opts Options
@@ -90,6 +100,9 @@ func TestSchedulePerturbationMatrix(t *testing.T) {
 		{"grain1", grain1},
 		{"adaptive", adaptive},
 		{"coroutine", coroutine},
+		{"grain1-interp", interp(grain1)},
+		{"adaptive-interp", interp(adaptive)},
+		{"coroutine-interp", interp(coroutine)},
 	}
 	programs := perturbPrograms()
 	for _, cfg := range configs {
@@ -188,4 +201,79 @@ func TestPerturbedCancelChurn(t *testing.T) {
 			checkEngineDrained(t, e)
 		})
 	}
+}
+
+// TestStatsDuringCancelStorm hammers Engine.Stats from concurrent readers
+// while a perturbed cancel storm churns frames, pipelines, and admission
+// slots underneath. It is the regression test for Stats read tearing: the
+// old snapshot loaded each gauge independently with no stability pass, so
+// a mid-churn reader could observe, e.g., a live pipeline count from
+// before a retirement paired with a frame count from after it. The
+// stable-read loop cannot make concurrent gauges exact (they are
+// documented best-effort under churn), but every value must be one some
+// single atomic held — in particular never negative — and once the storm
+// drains the quiescent snapshot must be exact: all live gauges zero.
+// Under -race this additionally proves Stats is safe against every
+// counter writer in the scheduler.
+func TestStatsDuringCancelStorm(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 2
+	opts.MaxPending = 8
+	opts.hooks = newPerturber(0x57a75)
+	e := NewEngine(opts)
+	defer e.Close()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := e.Stats()
+				if s.LiveIterFrames < 0 || s.LiveClosureFrames < 0 || s.LivePipelines < 0 ||
+					s.PendingAdmitted < 0 || s.LiveArenaBytes < 0 {
+					t.Errorf("torn gauge snapshot: %+v", s)
+					return
+				}
+				if s.LiveWorkers <= 0 {
+					t.Errorf("LiveWorkers = %d while the engine is open", s.LiveWorkers)
+					return
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for q := 0; q < 30; q++ {
+		i := 0
+		h := e.SubmitWait(nil, func() bool { i++; return i <= 30 }, func(it *Iter) {
+			it.Continue(1)
+			it.Wait(2)
+		})
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			if q%3 == 0 {
+				h.Cancel()
+			}
+			_ = h.Wait()
+		}(q)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := e.Stats()
+	if s.LiveIterFrames != 0 || s.LiveClosureFrames != 0 || s.LivePipelines != 0 ||
+		s.PendingAdmitted != 0 || s.LiveArenaBytes != 0 {
+		t.Errorf("quiescent gauges not exact: iter=%d closure=%d pipes=%d pending=%d arena=%d",
+			s.LiveIterFrames, s.LiveClosureFrames, s.LivePipelines, s.PendingAdmitted, s.LiveArenaBytes)
+	}
+	checkEngineDrained(t, e)
 }

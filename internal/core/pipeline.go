@@ -64,6 +64,27 @@ type pipeline struct {
 	grainFixed bool
 	grainHold  bool
 
+	// Compiled-plan state (see plan.go). plan is the published compiled
+	// shape: stored once by the recording iteration's seal, swapped to nil
+	// by deopt, loaded by the control frame when binding new iterations.
+	// planEligible caches the option gate; rec is the embedded iteration-0
+	// recorder (touched only by that iteration's runner). planSeeded,
+	// serialPlan, and lastStealStamp are control-frame state like grain;
+	// planCompiled/planStages/planFused are written once at seal and read
+	// by report after completion (ordered by the pipeline's join/done
+	// handshake, like grain).
+	plan           atomic.Pointer[plan]
+	planEligible   bool
+	planSeeded     bool
+	serialPlan     *plan
+	lastStealStamp int64
+	sawSteals      bool
+	rec            planRecorder
+	planCompiled   bool
+	planStages     int64
+	planFused      int64
+	planDeopts     atomic.Int64
+
 	// Work/span instrumentation (see instrument.go).
 	instrument bool
 	workNs     atomic.Int64
@@ -119,8 +140,15 @@ func (it *Iter) Index() int64 { return it.f.index }
 
 // Stage reports the stage number of the node currently executing.
 func (it *Iter) Stage() int64 {
-	s := it.f.stage.Load()
-	return s
+	f := it.f
+	if p := f.plan; p != nil && f.planCur > 0 {
+		// Fused transitions defer publication to the shared counter, so
+		// the per-iteration view reads the plan cursor instead — the
+		// compiled run is indistinguishable from interpreted execution
+		// through the Iter handle.
+		return p.nodes[f.planCur-1].stage
+	}
+	return f.stage.Load()
 }
 
 // Engine returns the engine executing this iteration, for spawning nested
@@ -140,10 +168,20 @@ func (it *Iter) checkStageArg(j int64) {
 // (i, j) once node (i-1, j) of the previous iteration has completed.
 func (it *Iter) Wait(j int64) {
 	f := it.f
+	if p := f.plan; p != nil {
+		if f.planStep(p, j, true) {
+			return
+		}
+		// Diverged from the recorded shape: the plan is retracted and the
+		// true stage materialized; revalidate and interpret from here.
+	}
 	it.checkStageArg(j)
 	if f.serial {
 		f.serialAdvance(j)
 		return
+	}
+	if r := f.rec; r != nil {
+		r.note(j, true)
 	}
 	f.abortCheck()
 	f.instrEndNode(j)
@@ -191,10 +229,18 @@ func (it *Iter) Wait(j int64) {
 // node (i, j) immediately.
 func (it *Iter) Continue(j int64) {
 	f := it.f
+	if p := f.plan; p != nil {
+		if f.planStep(p, j, false) {
+			return
+		}
+	}
 	it.checkStageArg(j)
 	if f.serial {
 		f.serialAdvance(j)
 		return
+	}
+	if r := f.rec; r != nil {
+		r.note(j, false)
 	}
 	f.abortCheck()
 	f.instrEndNode(j)
@@ -214,10 +260,10 @@ func (it *Iter) Continue(j int64) {
 }
 
 // WaitNext is Wait with the implicit stage argument j+1.
-func (it *Iter) WaitNext() { it.Wait(it.f.stage.Load() + 1) }
+func (it *Iter) WaitNext() { it.Wait(it.Stage() + 1) }
 
 // ContinueNext is Continue with the implicit stage argument j+1.
-func (it *Iter) ContinueNext() { it.Continue(it.f.stage.Load() + 1) }
+func (it *Iter) ContinueNext() { it.Continue(it.Stage() + 1) }
 
 // parkOnCross publishes the waiting state and parks unless the edge
 // resolved in the meantime (publish-then-recheck; see frame.go). Wakes
@@ -256,6 +302,18 @@ func (pl *pipeline) newIter(prev *frame) *frame {
 	f.index = pl.nextIndex
 	f.instrOn = pl.instrument
 	f.prev = prev
+	if pl.planEligible {
+		if pl.nextIndex == 0 {
+			if !pl.instrument {
+				// Iteration 0 interprets with the trace recorder attached;
+				// its clean retirement seals the pipeline's plan.
+				pl.rec.reset()
+				f.rec = &pl.rec
+			}
+		} else {
+			f.plan = pl.plan.Load()
+		}
+	}
 	pl.nextIndex++
 	if prev != nil {
 		prev.next.Store(f)
@@ -298,31 +356,38 @@ func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 			// Throttle before testing the loop condition: the condition
 			// is part of the next iteration's serial stage 0, and its
 			// evaluation may consume an input element, so it must run
-			// exactly once per started iteration.
-			if k := pl.K.Load(); pl.join.Load() >= k {
-				// Adaptive throttling: if the machine is starving (idle
-				// workers) while this pipeline is window-bound, trade
-				// space for parallelism, up to kMax. This is the
-				// Section 11 trade-off made explicit: on the Figure 10
-				// pathology a Θ(P) window caps speedup near 3, and any
-				// scheduler that does better must hold more iterations
-				// live.
-				if k < pl.kMax && pl.eng.idle.Load() > 0 {
-					pl.K.Store(minInt64(2*k, pl.kMax))
-					pl.eng.stats.throttleGrows.Add(1)
-					continue
-				}
-				cf.status.Store(statusThrottled)
-				if pl.join.Load() < pl.K.Load() {
-					if cf.status.CompareAndSwap(statusThrottled, statusRunning) {
-						continue // unparked ourselves
+			// exactly once per started iteration. A sealed serial-only
+			// plan elides the gate while no iteration is live: K >= 1
+			// always exceeds join == 0, and a serial pipeline only keeps
+			// frames live across steps when a stage-0 body promoted
+			// (fork-join on stolen children) — exactly the case join > 0
+			// routes back through the full gate.
+			if n := pl.join.Load(); pl.serialPlan == nil || n > 0 {
+				if k := pl.K.Load(); n >= k {
+					// Adaptive throttling: if the machine is starving (idle
+					// workers) while this pipeline is window-bound, trade
+					// space for parallelism, up to kMax. This is the
+					// Section 11 trade-off made explicit: on the Figure 10
+					// pathology a Θ(P) window caps speedup near 3, and any
+					// scheduler that does better must hold more iterations
+					// live.
+					if k < pl.kMax && pl.eng.idle.Load() > 0 {
+						pl.K.Store(minInt64(2*k, pl.kMax))
+						pl.eng.stats.throttleGrows.Add(1)
+						continue
 					}
-					// A waker claimed the frame and is delivering it; it
-					// is no longer ours.
+					cf.status.Store(statusThrottled)
+					if pl.join.Load() < pl.K.Load() {
+						if cf.status.CompareAndSwap(statusThrottled, statusRunning) {
+							continue // unparked ourselves
+						}
+						// A waker claimed the frame and is delivering it; it
+						// is no longer ours.
+						return yieldMsg{kind: ySuspend}
+					}
+					pl.eng.stats.throttleParks.Add(1)
 					return yieldMsg{kind: ySuspend}
 				}
-				pl.eng.stats.throttleParks.Add(1)
-				return yieldMsg{kind: ySuspend}
 			}
 			if !pl.safeCond() {
 				pl.phase = phaseDrain
@@ -364,7 +429,21 @@ func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 				if tracing {
 					traceStart = nowNs()
 				}
-				switch it.runInlineBatch(w, pl.openBatch()) {
+				claim := pl.openBatch()
+				var res inlineResult
+				if sp := pl.serialPlan; sp != nil && it.plan == sp {
+					// Serial-only compiled plan: the batched fast retire
+					// loop elides per-slot stage/status publication (see
+					// runInlineBatchSerial).
+					res = it.runInlineBatchSerial(w, claim)
+				} else {
+					if pl.serialPlan != nil && pl.plan.Load() == nil {
+						// The plan deopted; retract the serial fast loop.
+						pl.serialPlan = nil
+					}
+					res = it.runInlineBatch(w, claim)
+				}
+				switch res {
 				case inlineDoneOwned:
 					// The batch ran to completion without releasing the
 					// control frame (its final body never left stage 0, or
@@ -423,22 +502,40 @@ func (pl *pipeline) step(cf *frame, w *worker) yieldMsg {
 // claim length for the next inline batch. Called by step with
 // control-frame ownership, once per batch. The policy: grow geometrically
 // (×2, up to grainMax) while batches complete without a split and no
-// worker sits idle, and shrink (÷2) as soon as idle workers appear —
-// idle thieves mean the pipeline should be releasing its stealable
+// worker is both idle and able to profit from the released continuation
+// (idleThieves), and shrink (÷2) as soon as such workers appear — idle
+// thieves mean the pipeline should be releasing its stealable
 // continuation more often, not less, so batching must never starve
-// parallelism to buy amortization. Instrumented and traced runs pin the
-// claim to 1: per-node work/span accounting chains critical paths through
-// real predecessor frames, and trace consumers expect one segment per
+// parallelism to buy amortization. A freshly sealed plan is folded in
+// here (the control frame owns all grain state): a serial-only plan
+// installs the batched fast retire loop, and the recorded iteration cost
+// seeds the adaptive grain, replacing the cold G=1 ramp for bodies the
+// recording proves short. Instrumented and traced runs pin the claim
+// to 1: per-node work/span accounting chains critical paths through real
+// predecessor frames, and trace consumers expect one segment per
 // iteration.
 func (pl *pipeline) openBatch() int64 {
 	g := pl.grain
 	if pl.instrument || pl.eng.tracing.Load() {
 		return 1
 	}
+	if !pl.planSeeded {
+		if p := pl.plan.Load(); p != nil {
+			pl.planSeeded = true
+			if p.serialOnly {
+				pl.serialPlan = p
+			}
+			if !pl.grainFixed && p.seedGrain > g {
+				g = minInt64(p.seedGrain, pl.grainMax)
+				pl.grain = g
+				pl.grainHold = true
+			}
+		}
+	}
 	if pl.grainFixed {
 		return g
 	}
-	if pl.eng.idle.Load() > 0 {
+	if pl.eng.idle.Load() > 0 && pl.idleThieves() {
 		if g > 1 {
 			g >>= 1
 			pl.grain = g
@@ -458,6 +555,35 @@ func (pl *pipeline) openBatch() int64 {
 		pl.grain = g
 	}
 	return g
+}
+
+// idleThieves decides whether the idle workers behind a prospective grain
+// shrink could actually use a more-often-released continuation. A bare
+// idle count cannot: with MinWorkers > 1 (or any fixed pool wider than
+// the offered load) a permanently parked floor worker would otherwise pin
+// every pipeline at G=1 forever — the spare steals nothing whether or not
+// the continuation is released, so shrinking buys no parallelism and
+// costs all of the batch amortization. The same holds for a worker the
+// elastic pool spawned at launch that never found anything to raid. What
+// qualifies the idleness is proven contention: steal activity or other
+// pipelines launched since the last batch open mean workers genuinely
+// compete for this engine right now, and once any such signal has been
+// observed in this pipeline's lifetime (sawSteals), surplus workers
+// still hanging around are treated as thieves-in-waiting — they were
+// spawned for real load and retire when the grace expires, so deferring
+// to them is transient by construction. A parked worker on an engine
+// where this pipeline only ever ran alone shows neither signal, and the
+// grain climbs as it would on a single-worker pool.
+func (pl *pipeline) idleThieves() bool {
+	e := pl.eng
+	stamp := e.stats.steals.Load() + e.stats.thiefEnables.Load() +
+		e.stats.pipelines.Load()
+	if stamp != pl.lastStealStamp {
+		pl.lastStealStamp = stamp
+		pl.sawSteals = true
+		return true
+	}
+	return pl.sawSteals && int(e.liveN.Load()) > e.opts.MinWorkers
 }
 
 // grainOnSplit backs the adaptive grain off after a promotion that ended
@@ -533,6 +659,10 @@ func (pl *pipeline) report() PipelineReport {
 		FinalGrain:        pl.grain,
 		WorkNs:            pl.workNs.Load(),
 		SpanNs:            pl.spanNs.Load(),
+		PlanCompiled:      pl.planCompiled,
+		PlanStages:        pl.planStages,
+		PlanFusedStages:   pl.planFused,
+		PlanDeopts:        pl.planDeopts.Load(),
 	}
 }
 

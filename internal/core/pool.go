@@ -107,6 +107,10 @@ func (e *Engine) acquireIterFrame() *frame {
 	f.inStage0 = true
 	f.foldCache = 0
 	f.nFoldHits, f.nCrossChecks = 0, 0
+	f.plan = nil
+	f.planCur = 0
+	f.crossDone = false
+	f.rec = nil
 	f.instrOn = false
 	f.nodeStart, f.curCrit, f.workAcc = 0, 0, 0
 	f.prevCritCursor = 0
@@ -242,6 +246,24 @@ func (e *Engine) acquirePipeline() *pipeline {
 		pl.grain, pl.grainMax, pl.grainFixed = 1, int64(e.opts.GrainMax), false
 	}
 	pl.grainHold = true
+	// Plan-compiler state. Eligibility is decided once per execution: the
+	// compiled dispatch subsumes the fold cache and never performs eager
+	// check-rights, so the ablations that disable those interpret instead
+	// (see plan.go). planSeeded short-circuits openBatch's one-time seed
+	// check for ineligible pipelines.
+	pl.plan.Store(nil)
+	pl.planEligible = e.opts.CompilePlans && e.opts.DependencyFolding && !e.opts.EagerEnabling
+	pl.planSeeded = !pl.planEligible
+	pl.serialPlan = nil
+	// The +1 pre-pays this pipeline's own stats.pipelines increment, which
+	// newPipeline performs right after this acquire returns; without it the
+	// first batch open would read a self-inflicted contention signal.
+	pl.lastStealStamp = e.stats.steals.Load() + e.stats.thiefEnables.Load() +
+		e.stats.pipelines.Load() + 1
+	pl.sawSteals = false
+	pl.planCompiled = false
+	pl.planStages, pl.planFused = 0, 0
+	pl.planDeopts.Store(0)
 	pl.instrument = false
 	pl.workNs.Store(0)
 	pl.spanNs.Store(0)

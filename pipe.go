@@ -67,6 +67,15 @@ func SubmitPipeWait[T any](ctx context.Context, eng *Engine, next func() (T, boo
 // pipeline would satisfy can deadlock, just as the paper requires
 // inter-iteration dependencies to be expressed via pipe_wait. Grain(1)
 // restores the strict one-iteration-per-claim protocol.
+//
+// Plan compilation (Options.CompilePlans, on by default) does not alter
+// this contract: a shape-stable pipeline's compiled dispatch preserves
+// the Grain(1) protocol exactly — the same transitions publish the same
+// stage counters in the same order, blocking, promotion, and
+// cancellation behave identically, and an iteration that diverges from
+// the compiled shape falls back to the interpreter mid-iteration. The
+// compiler changes how much bookkeeping a transition costs, never what
+// the program observes.
 func Pipe[T any](eng *Engine, next func() (T, bool), body func(it *Iter, v T)) {
 	PipeThrottled(eng, 0, next, body)
 }

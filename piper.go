@@ -182,6 +182,28 @@ func GrainMax(g int) Option {
 	return func(o *core.Options) { o.GrainMax = g }
 }
 
+// CompilePlans toggles pipeline plan compilation (default on): each
+// pipeline's first iteration runs under the interpreter with a trace
+// recorder attached, and when it retires cleanly the recorded stage shape
+// is compiled into a specialized execution plan — per-transition argument
+// validation, instrumentation branches, and the fold-cache compare chain
+// are hoisted out of the dispatch; adjacent short serial stages are
+// fused so their boundary bookkeeping disappears entirely; a recorded
+// pure-serial body enables whole-batch retirement with one published
+// completion; and the recorded iteration cost seeds the adaptive grain
+// ramp. An iteration whose transitions diverge from the recorded shape
+// deopts the pipeline back to the interpreter mid-flight, so shape-
+// unstable programs pay one retraction and nothing after. Semantics are
+// identical in both modes — compiled dispatch preserves cross-edge
+// ordering, throttling, cancellation, and the Grain(1) per-iteration
+// protocol exactly — so disabling is only for ablation measurements.
+// Plans require DependencyFolding and LazyEnabling (the ablations that
+// disable those measure the interpreter) and are never compiled for
+// instrumented (Profile*) runs.
+func CompilePlans(enabled bool) Option {
+	return func(o *core.Options) { o.CompilePlans = enabled }
+}
+
 // ArenaBuffers toggles the engine's recycled payload-buffer arena
 // (default on). Engine.Arena hands pipeline stages recycled, cache-line-
 // aligned, ref-counted byte regions that flow through stages by ownership
