@@ -344,7 +344,7 @@ func TestArenaAblationSmall(t *testing.T) {
 // truncated artifact behind.
 func TestJSONSuiteFilterMatchesNothing(t *testing.T) {
 	var buf bytes.Buffer
-	err := JSONSuite(&buf, "NoSuchBenchmarkRow")
+	err := JSONSuite(&buf, SuiteConfig{Filters: []string{"NoSuchBenchmarkRow"}})
 	if err == nil {
 		t.Fatal("zero-match filter produced no error")
 	}
@@ -354,7 +354,7 @@ func TestJSONSuiteFilterMatchesNothing(t *testing.T) {
 		}
 	}
 	path := filepath.Join(t.TempDir(), "out.json")
-	if err := WriteJSONFile(path, "NoSuchBenchmarkRow"); err == nil {
+	if err := WriteJSONFile(path, SuiteConfig{Filters: []string{"NoSuchBenchmarkRow"}}); err == nil {
 		t.Fatal("WriteJSONFile accepted a zero-match filter")
 	}
 	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {

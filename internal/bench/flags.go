@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Flag-spec parsing for piperbench. Lives here rather than in the command
+// so the rejection paths are unit-testable without spawning a process.
+
+// SplitNames splits a comma-separated name list, trimming whitespace and
+// dropping empty entries. Duplicate names are rejected: a guard list that
+// names the same benchmark twice is always a typo for a second, unguarded
+// benchmark, and silently checking one row twice would report vacuous
+// coverage.
+func SplitNames(flagName, spec string) ([]string, error) {
+	var names []string
+	seen := make(map[string]bool)
+	for _, s := range strings.Split(spec, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("duplicate %s name %q", flagName, s)
+		}
+		seen[s] = true
+		names = append(names, s)
+	}
+	return names, nil
+}
+
+// virtualProcsCap bounds the virtual-time sweep: beyond 64 workers the
+// perturbed behavioral runs on a small host measure goroutine-scheduler
+// noise, not piper's machinery.
+const virtualProcsCap = 64
+
+// defaultVirtualProcs is the P range the virtual-time mode simulates when
+// -procs auto is combined with -virtual.
+var defaultVirtualProcs = []int{8, 16, 32, 64}
+
+// ParseProcs parses a -procs spec into the real GOMAXPROCS sweep and the
+// virtual-P list. "" yields nil, nil (no sweep). "auto" yields the
+// doubling sequence 1,2,4,...,numCPU plus — with virtual — every default
+// virtual P above numCPU. An explicit comma list is validated: dupes are
+// rejected, and a value above numCPU is an error unless virtual is set
+// (real timing at P > NumCPU measures oversubscription, not speedup), in
+// which case it joins the virtual list, capped at virtualProcsCap.
+func ParseProcs(spec string, numCPU int, virtual bool) (real, virt []int, err error) {
+	switch spec {
+	case "":
+		return nil, nil, nil
+	case "auto":
+		real = append(real, 1)
+		for p := 2; p <= numCPU; p *= 2 {
+			real = append(real, p)
+		}
+		if last := real[len(real)-1]; last != numCPU {
+			real = append(real, numCPU)
+		}
+		if virtual {
+			for _, p := range defaultVirtualProcs {
+				if p > numCPU {
+					virt = append(virt, p)
+				}
+			}
+		}
+		return real, virt, nil
+	}
+	seen := make(map[int]bool)
+	for _, s := range strings.Split(spec, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		p, perr := strconv.Atoi(s)
+		if perr != nil || p < 1 {
+			return nil, nil, fmt.Errorf("bad -procs entry %q (valid: auto, or integers 1..%d, plus up to %d with -virtual)",
+				s, numCPU, virtualProcsCap)
+		}
+		if seen[p] {
+			return nil, nil, fmt.Errorf("duplicate -procs entry %d", p)
+		}
+		seen[p] = true
+		switch {
+		case p <= numCPU:
+			real = append(real, p)
+		case !virtual:
+			return nil, nil, fmt.Errorf("-procs %d exceeds NumCPU=%d; valid without -virtual: 1..%d (with -virtual: up to %d, simulated)",
+				p, numCPU, numCPU, virtualProcsCap)
+		case p > virtualProcsCap:
+			return nil, nil, fmt.Errorf("-procs %d exceeds the virtual-time cap %d", p, virtualProcsCap)
+		default:
+			virt = append(virt, p)
+		}
+	}
+	sort.Ints(real)
+	sort.Ints(virt)
+	return real, virt, nil
+}

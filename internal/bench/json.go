@@ -61,6 +61,33 @@ type JSONReport struct {
 	NumCPU     int             `json:"num_cpu"`
 	GoVersion  string          `json:"go_version"`
 	Benchmarks []JSONBenchmark `json:"benchmarks"`
+	// Curves holds the per-workload speedup curves of the scalability
+	// sweep (piperbench -procs; see scale.go). Empty when no sweep ran.
+	Curves []JSONCurve `json:"curves,omitempty"`
+}
+
+// SuiteConfig selects what a suite run measures. The zero value runs
+// every flat benchmark row and no scalability sweep.
+type SuiteConfig struct {
+	// Filters restricts the flat rows to benchmarks whose name contains
+	// any of the entries (all rows when empty).
+	Filters []string
+	// RealProcs and VirtProcs enable the scalability sweep: measured
+	// GOMAXPROCS values and simulated virtual-schedule worker counts
+	// (see SpeedupCurves). No curves are recorded when both are empty.
+	RealProcs, VirtProcs []int
+}
+
+func (c SuiteConfig) matches(name string) bool {
+	if len(c.Filters) == 0 {
+		return true
+	}
+	for _, f := range c.Filters {
+		if strings.Contains(name, f) {
+			return true
+		}
+	}
+	return false
 }
 
 // statDelta fills b with the scheduler counter deltas across a benchmark
@@ -124,11 +151,12 @@ func runJSONBench(name string, perIter int, mkEngine func() *piper.Engine, body 
 
 // JSONSuite runs the machine-readable benchmark suite — scheduler
 // microbenchmarks (per-iteration cost of the frame lifecycle: inline,
-// promoted-coroutine ablation, pooled and unpooled) plus two small
-// end-to-end workloads — and writes the report to w as JSON. A non-empty
-// filter restricts the suite to benchmarks whose name contains it (the
-// CI regression smoke runs just the serial-overhead row this way).
-func JSONSuite(w io.Writer, filter string) error {
+// promoted-coroutine ablation, pooled and unpooled) plus small
+// end-to-end workloads and, when cfg asks for one, the scalability sweep
+// — and writes the report to w as JSON. Filters restrict the suite to
+// benchmarks whose name contains any entry (the CI regression smoke runs
+// just the serial-overhead row this way).
+func JSONSuite(w io.Writer, cfg SuiteConfig) error {
 	const spsIters = 5000
 	sps := func(e *piper.Engine) {
 		i := 0
@@ -146,6 +174,16 @@ func JSONSuite(w io.Writer, filter string) error {
 	data := workload.TextStream(1234, 1<<20, 4096, 0.35)
 	dd := func(e *piper.Engine) { _ = dedup.CompressPiper(e, 8, data, io.Discard) }
 	lzBody := func(e *piper.Engine) { _ = lz.Compress(e, 0, data, 16<<10) }
+	// LZStream is the flagship throughput row: the streaming compressor
+	// over an 8 MiB seeded synthetic stream in sparse mode (the GB-scale
+	// configuration, scaled down to benchmark length — same pipeline
+	// shape, same arena recycling, same nested block pipe).
+	lzStream := func(e *piper.Engine) {
+		in := workload.StreamReader(7, lzStreamCurveSize, 4096, 0.4)
+		if _, err := lz.StreamCompress(e, io.Discard, in, lzStreamCurveOpts()); err != nil {
+			panic(err)
+		}
+	}
 
 	mk := func(p int, extra ...piper.Option) func() *piper.Engine {
 		return func() *piper.Engine {
@@ -180,6 +218,7 @@ func JSONSuite(w io.Writer, filter string) error {
 		{"PipeFibFine/P2", 0, mk(2), fib},
 		{"Dedup1MiB/P2", 0, mk(2), dd},
 		{"LZFactor1MiB/P2", 0, mk(2), lzBody},
+		{"LZStream8MiB/P2", 0, mk(2), lzStream},
 	}
 
 	rep := JSONReport{
@@ -190,7 +229,7 @@ func JSONSuite(w io.Writer, filter string) error {
 	available := make([]string, 0, len(rows)+1)
 	for _, r := range rows {
 		available = append(available, r.name)
-		if filter != "" && !strings.Contains(r.name, filter) {
+		if !cfg.matches(r.name) {
 			continue
 		}
 		rep.Benchmarks = append(rep.Benchmarks, runJSONBench(r.name, r.perIter, r.mkEngine, r.body))
@@ -200,7 +239,7 @@ func JSONSuite(w io.Writer, filter string) error {
 	// the filter before measuring: the CI smoke run filters to a single
 	// microbenchmark and must not pay for burst rounds.
 	available = append(available, elasticRowName)
-	if filter == "" || strings.Contains(elasticRowName, filter) {
+	if cfg.matches(elasticRowName) {
 		rep.Benchmarks = append(rep.Benchmarks, elasticScaleUpRow())
 	}
 	if len(rep.Benchmarks) == 0 {
@@ -208,8 +247,11 @@ func JSONSuite(w io.Writer, filter string) error {
 		// report — and a regression guard downstream would then fail on a
 		// "missing benchmark" instead of the real mistake. Name the rows
 		// so the caller can fix the filter.
-		return fmt.Errorf("filter %q matches no benchmarks; available: %s",
-			filter, strings.Join(available, ", "))
+		return fmt.Errorf("filters %q match no benchmarks; available: %s",
+			cfg.Filters, strings.Join(available, ", "))
+	}
+	if len(cfg.RealProcs) > 0 || len(cfg.VirtProcs) > 0 {
+		rep.Curves = SpeedupCurves(cfg.RealProcs, cfg.VirtProcs)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -217,14 +259,13 @@ func JSONSuite(w io.Writer, filter string) error {
 }
 
 // WriteJSONFile runs JSONSuite into path (conventionally
-// BENCH_piper.json), restricted to benchmark names containing filter if
-// non-empty.
-func WriteJSONFile(path, filter string) error {
+// BENCH_piper.json) under cfg.
+func WriteJSONFile(path string, cfg SuiteConfig) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := JSONSuite(f, filter); err != nil {
+	if err := JSONSuite(f, cfg); err != nil {
 		f.Close()
 		os.Remove(path) // don't leave a truncated report behind
 		return err
@@ -239,12 +280,8 @@ func WriteJSONFile(path, filter string) error {
 // run filtered down to a different row), and "not found" alone sends the
 // caller off to re-run benchmarks instead of fixing the name.
 func loadBenchmark(path, name string) (JSONBenchmark, error) {
-	data, err := os.ReadFile(path)
+	rep, err := loadReport(path)
 	if err != nil {
-		return JSONBenchmark{}, err
-	}
-	var rep JSONReport
-	if err := json.Unmarshal(data, &rep); err != nil {
 		return JSONBenchmark{}, err
 	}
 	available := make([]string, 0, len(rep.Benchmarks))
@@ -259,6 +296,19 @@ func loadBenchmark(path, name string) (JSONBenchmark, error) {
 	}
 	return JSONBenchmark{}, fmt.Errorf("benchmark %q not found in %s; available: %s",
 		name, path, strings.Join(available, ", "))
+}
+
+// loadReport reads and decodes one BENCH_piper.json document.
+func loadReport(path string) (JSONReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return JSONReport{}, err
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return JSONReport{}, err
+	}
+	return rep, nil
 }
 
 // metricOf extracts one guarded metric from a benchmark row by its JSON

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"piper/internal/workload"
+)
+
+// Virtual-schedule mode: the scalability harness's bridge to the
+// schedule-perturbation hooks (hooks.go).
+//
+// On a host with few cores, an engine built with Workers(P) for P beyond
+// runtime.NumCPU() still exercises the full P-worker scheduling machinery
+// — P deque shards, the steal sweep over them, the elastic pool's
+// park/wake protocol, injection-ring overflow — just compressed onto the
+// physical cores by the Go scheduler, with none of the contention timing
+// real parallelism would produce. InstallVirtualSchedule widens that
+// timing artificially: a seeded perturber injects delays, yield points,
+// forced overflow, and scrambled steal order at the scheduler's decision
+// points, deterministically in distribution (a fixed seed draws a fixed
+// dice sequence; interleaving still varies, but every behavioral rate the
+// harness records is stable to within sampling noise). The result is not
+// a performance model — virtual runs measure *behavior* (steals, parks,
+// overflows per iteration) while speedup at virtual P comes from the
+// work/span bound — but it puts the steal-sweep, grain, and elastic-pool
+// heuristics under P=8..64 stress on a 1-CPU host, which no real
+// configuration here can.
+
+// InstallVirtualSchedule installs the seeded virtual-schedule perturber on
+// o. It is the only exported path to the hooks field: production engines
+// never set it, and the harness sets it only for virtual-P benchmark runs
+// (never for timing rows — perturbation delays would pollute them).
+func (o *Options) InstallVirtualSchedule(seed uint64) {
+	var mu sync.Mutex
+	rng := workload.NewRNG(seed)
+	roll := func(n int) int {
+		mu.Lock()
+		v := rng.Intn(n)
+		mu.Unlock()
+		return v
+	}
+	o.hooks = &schedHooks{
+		point: func(p hookPoint) {
+			switch roll(16) {
+			case 0:
+				// Stretch the decision window far enough for another
+				// worker goroutine to be scheduled into it — the stand-in
+				// for a concurrently executing core.
+				time.Sleep(time.Duration(1+roll(20)) * time.Microsecond)
+			case 1, 2:
+				runtime.Gosched()
+			}
+			if p == hookParkPublish && roll(4) == 0 {
+				// The publish-then-recheck window is where wakers race
+				// parking workers; oversubscribed hosts hit it hardest.
+				runtime.Gosched()
+			}
+		},
+		forceOverflow: func() bool { return roll(8) == 0 },
+		stealFirst:    func() bool { return roll(4) == 0 },
+	}
+}

@@ -68,38 +68,7 @@ func factorizeInto(data []byte, backing []int32, dst []Factor) []Factor {
 	for r, p := range sa {
 		isa[p] = int32(r)
 	}
-	// psv[r]/nsv[r] hold, for the suffix ranked r, the text position of
-	// the nearest lexicographic neighbour (previous/next rank) whose text
-	// position is smaller — the only two candidates for the longest
-	// previous match of SA[r] (any other earlier suffix is lexicographically
-	// farther, hence shares a no-longer common prefix). Computed with the
-	// classic all-nearest-smaller-values stack sweep.
-	stack := ext[:0]
-	for r := 0; r < n; r++ {
-		p := sa[r]
-		for len(stack) > 0 && stack[len(stack)-1] > p {
-			stack = stack[:len(stack)-1]
-		}
-		if len(stack) > 0 {
-			psv[r] = stack[len(stack)-1]
-		} else {
-			psv[r] = -1
-		}
-		stack = append(stack, p)
-	}
-	stack = stack[:0]
-	for r := n - 1; r >= 0; r-- {
-		p := sa[r]
-		for len(stack) > 0 && stack[len(stack)-1] > p {
-			stack = stack[:len(stack)-1]
-		}
-		if len(stack) > 0 {
-			nsv[r] = stack[len(stack)-1]
-		} else {
-			nsv[r] = -1
-		}
-		stack = append(stack, p)
-	}
+	ansvInto(sa, psv, nsv, ext)
 
 	// Greedy pass: match lengths are computed by direct comparison, but
 	// only at factor start positions, so the total comparison work is
@@ -134,6 +103,43 @@ func factorizeInto(data []byte, backing []int32, dst []Factor) []Factor {
 		p += int(l)
 	}
 	return dst
+}
+
+// ansvInto fills psv[r]/nsv[r] with, for the suffix ranked r, the text
+// position of the nearest lexicographic neighbour (previous/next rank)
+// whose text position is smaller — the only two candidates for the
+// longest previous match of SA[r] (any other earlier suffix is
+// lexicographically farther, hence shares a no-longer common prefix).
+// Computed with the classic all-nearest-smaller-values stack sweep; ext
+// is stack storage of at least len(sa) elements.
+func ansvInto(sa, psv, nsv, ext []int32) {
+	n := len(sa)
+	stack := ext[:0]
+	for r := 0; r < n; r++ {
+		p := sa[r]
+		for len(stack) > 0 && stack[len(stack)-1] > p {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			psv[r] = stack[len(stack)-1]
+		} else {
+			psv[r] = -1
+		}
+		stack = append(stack, p)
+	}
+	stack = stack[:0]
+	for r := n - 1; r >= 0; r-- {
+		p := sa[r]
+		for len(stack) > 0 && stack[len(stack)-1] > p {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			nsv[r] = stack[len(stack)-1]
+		} else {
+			nsv[r] = -1
+		}
+		stack = append(stack, p)
+	}
 }
 
 // Reconstruct expands factors into dst (which must be empty or nil) and

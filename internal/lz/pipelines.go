@@ -28,8 +28,21 @@ import (
 // workload), large enough that factors still find their repeats.
 const DefaultBlockSize = 16 << 10
 
-// maxBlockSize keeps ranks within int32 for the suffix sorter.
+// maxBlockSize keeps ranks within int32 for the suffix sorter; it bounds
+// what the decoder accepts in a stream header.
 const maxBlockSize = 1 << 30
+
+// maxFactorBlockSize caps the block size the encoders will actually use.
+// The factorizer's arena reservations are derived from the block size
+// (scratchLen(n)·4 and n·sizeof(Factor) bytes), so the cap is what keeps
+// them per-block instead of per-input: without it, Compress(eng, 0, data,
+// len(data)) on a 1 GiB input would demand a single 20 GiB region, far
+// past the arena's 2^26-byte largest class. 2 MiB blocks keep the largest
+// request at scratchLen(2 MiB)·4 ≈ 2^25.4 — inside the pooled classes —
+// while factors at that range have long stopped improving. The clamped
+// value is what lands in the stream header, so pipeline and serial
+// encoders still agree bit for bit.
+const maxFactorBlockSize = 2 << 20
 
 var errCorrupt = errors.New("lz: corrupt stream")
 
@@ -81,8 +94,8 @@ func Compress(eng *piper.Engine, k int, data []byte, blockSize int) []byte {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	if blockSize > maxBlockSize {
-		blockSize = maxBlockSize
+	if blockSize > maxFactorBlockSize {
+		blockSize = maxFactorBlockSize
 	}
 	// Presize for an output as large as the input plus header margin: any
 	// compressible stream fits without reallocation, so the encode stage's
@@ -118,8 +131,8 @@ func Compress(eng *piper.Engine, k int, data []byte, blockSize int) []byte {
 		}()
 		it.Continue(1) // parallel: factorize the block
 		n := len(j.block)
-		j.scratch = a.Get(scratchLen(n) * 4)
-		j.fref = a.Get(n * int(unsafe.Sizeof(Factor{})))
+		j.scratch = arenaGet(a, nil, scratchLen(n)*4)
+		j.fref = arenaGet(a, nil, n*int(unsafe.Sizeof(Factor{})))
 		j.factors = factorizeInto(j.block,
 			arena.View[int32](j.scratch, scratchLen(n)),
 			arena.View[Factor](j.fref, n)[:0])
@@ -135,8 +148,8 @@ func CompressSerial(data []byte, blockSize int) []byte {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	if blockSize > maxBlockSize {
-		blockSize = maxBlockSize
+	if blockSize > maxFactorBlockSize {
+		blockSize = maxFactorBlockSize
 	}
 	out := appendUvarint(nil, uint64(len(data)))
 	out = appendUvarint(out, uint64(blockSize))

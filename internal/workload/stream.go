@@ -1,0 +1,90 @@
+package workload
+
+import "io"
+
+// StreamReader returns an io.Reader that produces size bytes of the same
+// text-like distribution as TextStream — word-salad blocks with a
+// controllable fraction of verbatim repeats — generated incrementally, so
+// multi-GiB streams can be synthesized without ever materializing them.
+// Memory use is O(blockSize · window): only a bounded ring of recent
+// blocks is kept as the duplicate population (a sliding analogue of
+// TextStream's unbounded block list).
+//
+// The byte sequence is a pure function of the arguments and independent
+// of how the stream is chunked by Read calls, which is what lets a
+// pipeline run and a serial reference run consume "the same file" from
+// two independent readers.
+func StreamReader(seed uint64, size int64, blockSize int, duplicateRatio float64) io.Reader {
+	if blockSize <= 0 {
+		blockSize = 4096
+	}
+	return &streamReader{
+		rng:       NewRNG(seed),
+		remaining: size,
+		blockSize: blockSize,
+		dup:       duplicateRatio,
+	}
+}
+
+// streamWindow bounds the duplicate-candidate ring of StreamReader.
+const streamWindow = 64
+
+type streamReader struct {
+	rng       *RNG
+	remaining int64
+	blockSize int
+	dup       float64
+
+	ring    [][]byte // up to streamWindow most recent fresh blocks
+	next    int      // ring slot the next fresh block overwrites
+	pending []byte   // generated, not yet consumed by Read
+}
+
+var streamWords = []string{
+	"pipeline", "parallel", "stage", "iteration", "worker", "steal",
+	"throttle", "frame", "cross", "edge", "span", "work", "deque",
+	"node", "serial", "hybrid", "cilk", "piper", "fold", "enable",
+}
+
+func (s *streamReader) Read(p []byte) (int, error) {
+	for len(s.pending) == 0 {
+		if s.remaining <= 0 {
+			return 0, io.EOF
+		}
+		s.pending = s.nextBlock()
+	}
+	n := copy(p, s.pending)
+	s.pending = s.pending[n:]
+	return n, nil
+}
+
+// nextBlock produces the next block of the stream, clipped to the bytes
+// remaining. Duplicate blocks alias ring storage; Read only ever copies
+// out of them.
+func (s *streamReader) nextBlock() []byte {
+	var b []byte
+	if len(s.ring) > 0 && s.rng.Float64() < s.dup {
+		b = s.ring[s.rng.Intn(len(s.ring))]
+	} else {
+		b = make([]byte, 0, s.blockSize+16)
+		for len(b) < s.blockSize {
+			w := streamWords[s.rng.Intn(len(streamWords))]
+			b = append(b, w...)
+			b = append(b, ' ')
+			if s.rng.Intn(12) == 0 {
+				b = append(b, '\n')
+			}
+		}
+		if len(s.ring) < streamWindow {
+			s.ring = append(s.ring, b)
+		} else {
+			s.ring[s.next] = b
+			s.next = (s.next + 1) % streamWindow
+		}
+	}
+	if int64(len(b)) > s.remaining {
+		b = b[:s.remaining]
+	}
+	s.remaining -= int64(len(b))
+	return b
+}

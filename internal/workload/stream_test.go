@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestStreamReaderChunkingIndependent checks the property the streaming
+// LZ tests lean on: the byte sequence is a pure function of the
+// arguments, no matter how Read calls slice it up.
+func TestStreamReaderChunkingIndependent(t *testing.T) {
+	const size = 1 << 20
+	ref, err := io.ReadAll(StreamReader(42, size, 4096, 0.4))
+	if err != nil || len(ref) != size {
+		t.Fatalf("reference read: %d bytes, %v", len(ref), err)
+	}
+	for _, chunk := range []int{1, 7, 4096, 65537} {
+		r := StreamReader(42, size, 4096, 0.4)
+		var got bytes.Buffer
+		buf := make([]byte, chunk)
+		if _, err := io.CopyBuffer(&got, struct{ io.Reader }{r}, buf); err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if !bytes.Equal(got.Bytes(), ref) {
+			t.Fatalf("chunk=%d: stream differs from reference", chunk)
+		}
+	}
+	// Different seeds must diverge (the generators are not degenerate).
+	other, _ := io.ReadAll(StreamReader(43, size, 4096, 0.4))
+	if bytes.Equal(other, ref) {
+		t.Fatal("seeds 42 and 43 produced identical streams")
+	}
+}
