@@ -1,0 +1,234 @@
+// Piperlint is the multichecker for piper's usage-contract analyzers
+// (internal/lint): batchsafety, arenaref, stagediscipline, atomicalign,
+// nakedgo.
+//
+// Standalone, it loads package patterns like the go tool and exits
+// nonzero if any analyzer reports a finding:
+//
+//	go run ./cmd/piperlint ./...
+//	piperlint -only batchsafety,nakedgo ./internal/lz
+//
+// It also speaks enough of the vet tool protocol (-V=full handshake plus
+// unitchecker-style .cfg units) to run as `go vet -vettool=$(which
+// piperlint) ./...`, type-checking each unit from the compiler's export
+// data instead of source.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"piper/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("piperlint", flag.ExitOnError)
+	versionFlag := fs.String("V", "", "vet tool protocol handshake (-V=full)")
+	printFlags := fs.Bool("flags", false, "print the tool's flags as JSON (vet tool protocol)")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: piperlint [-only a,b] [packages]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *versionFlag != "" {
+		// The go command probes vet tools with -V=full and requires the
+		// exact shape "<prog> version devel ... buildID=<id>" to identify
+		// the tool binary for its action cache; the content hash of the
+		// executable is the id.
+		prog, err := os.Executable()
+		if err != nil {
+			prog = os.Args[0]
+		}
+		h := sha256.New()
+		if f, err := os.Open(prog); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+		fmt.Printf("%s version devel buildID=%x\n", prog, h.Sum(nil))
+		return 0
+	}
+	if *printFlags {
+		// The go command's other probe: `tool -flags` must print the
+		// tool's flags as a JSON array so vet can validate user flags.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var flags []jsonFlag
+		fs.VisitAll(func(f *flag.Flag) {
+			b, ok := f.Value.(interface{ IsBoolFlag() bool })
+			flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+		})
+		data, err := json.MarshalIndent(flags, "", "\t")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return 0
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	// A single *.cfg argument is the go command handing us one vet unit.
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
+		return runVetUnit(fs.Arg(0), analyzers)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "piperlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a := byName[strings.TrimSpace(name)]
+		if a == nil {
+			return nil, fmt.Errorf("piperlint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// vetConfig is the unit description the go command writes for vet tools
+// (the unitchecker wire format).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one unit under `go vet -vettool`. Dependencies are
+// imported from the export data the go command already built, so no
+// source re-type-checking happens.
+func runVetUnit(cfgFile string, analyzers []*lint.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "piperlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The go command requires an output file (its facts cache) even though
+	// these analyzers export none.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: nothing to analyze, nothing to export.
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exportFile, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exportFile)
+	})
+	pkg, err := lint.CheckFiles(fset, imp, cfg.ImportPath, cfg.Dir, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	diags := lint.Run([]*lint.Package{pkg}, analyzers)
+	for _, d := range diags {
+		// The go command relays anything on stderr as the vet failure.
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	writeVetx()
+	return 0
+}

@@ -1,3 +1,10 @@
 module piper
 
 go 1.24
+
+// No requirements, deliberately. The piperlint analyzers (internal/lint)
+// mirror the golang.org/x/tools/go/analysis API shape but are built
+// entirely on the standard library (go/ast, go/types, `go list`, the
+// source importer), so the module builds and self-checks with nothing
+// beyond the Go toolchain. If x/tools is ever vendored, internal/lint's
+// Analyzer/Pass types are drop-in translatable to analysis.Analyzer.

@@ -21,7 +21,10 @@
 // panic capture unwind iteration bodies through ordinary panic
 // propagation, so deferred releases are what keep an aborted pipeline
 // from leaking regions (the leak-check tests assert LiveBytes drains to
-// zero after cancellation storms).
+// zero after cancellation storms). The arenaref analyzer (internal/lint,
+// `go run ./cmd/piperlint`) enforces the deferred-Release pairing and
+// flags straight-line use after Release; an intentional exception is
+// annotated //piper:allow-ref with a reason.
 //
 // # Invariants
 //

@@ -10,18 +10,24 @@ import (
 // Flag-spec parsing for piperbench. Lives here rather than in the command
 // so the rejection paths are unit-testable without spawning a process.
 
-// SplitNames splits a comma-separated name list, trimming whitespace and
-// dropping empty entries. Duplicate names are rejected: a guard list that
-// names the same benchmark twice is always a typo for a second, unguarded
-// benchmark, and silently checking one row twice would report vacuous
-// coverage.
+// SplitNames splits a comma-separated name list, trimming whitespace
+// around each entry. An entirely empty spec means "none" and yields nil;
+// an empty segment inside a non-empty spec ("a,,b", a trailing comma) is
+// rejected rather than dropped — it is always a stray comma, and silently
+// swallowing it would shrink a guard list the user believes is longer.
+// Duplicate names are rejected: a guard list that names the same
+// benchmark twice is always a typo for a second, unguarded benchmark,
+// and silently checking one row twice would report vacuous coverage.
 func SplitNames(flagName, spec string) ([]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
 	var names []string
 	seen := make(map[string]bool)
 	for _, s := range strings.Split(spec, ",") {
 		s = strings.TrimSpace(s)
 		if s == "" {
-			continue
+			return nil, fmt.Errorf("empty %s name in %q (stray comma?)", flagName, spec)
 		}
 		if seen[s] {
 			return nil, fmt.Errorf("duplicate %s name %q", flagName, s)
@@ -73,7 +79,7 @@ func ParseProcs(spec string, numCPU int, virtual bool) (real, virt []int, err er
 	for _, s := range strings.Split(spec, ",") {
 		s = strings.TrimSpace(s)
 		if s == "" {
-			continue
+			return nil, nil, fmt.Errorf("empty -procs entry in %q (stray comma?)", spec)
 		}
 		p, perr := strconv.Atoi(s)
 		if perr != nil || p < 1 {

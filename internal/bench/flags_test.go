@@ -18,7 +18,7 @@ func writeReportFile(path string, rep JSONReport) error {
 }
 
 func TestSplitNamesRejectsDuplicates(t *testing.T) {
-	names, err := SplitNames("-guard", " a , b ,, c ")
+	names, err := SplitNames("-guard", " a , b , c ")
 	if err != nil || !reflect.DeepEqual(names, []string{"a", "b", "c"}) {
 		t.Fatalf("got %v, %v", names, err)
 	}
@@ -30,6 +30,21 @@ func TestSplitNamesRejectsDuplicates(t *testing.T) {
 	}
 	if names, err := SplitNames("-guard", ""); err != nil || names != nil {
 		t.Fatalf("empty spec: got %v, %v", names, err)
+	}
+	if names, err := SplitNames("-guard", "  "); err != nil || names != nil {
+		t.Fatalf("blank spec: got %v, %v", names, err)
+	}
+}
+
+func TestSplitNamesRejectsEmptySegments(t *testing.T) {
+	// A stray comma must be an error, not a silently shorter list: the
+	// user asked to guard something and got nothing.
+	for _, bad := range []string{"a,,b", "a,b,", ",a", " a , b ,, c ", ","} {
+		if names, err := SplitNames("-guard", bad); err == nil {
+			t.Fatalf("spec %q accepted as %v", bad, names)
+		} else if !strings.Contains(err.Error(), "-guard") || !strings.Contains(err.Error(), "empty") {
+			t.Fatalf("spec %q: unhelpful error %v", bad, err)
+		}
 	}
 }
 
@@ -68,6 +83,12 @@ func TestParseProcsRejects(t *testing.T) {
 	for _, bad := range []string{"0", "-1", "two", "1,x"} {
 		if _, _, err := ParseProcs(bad, 4, false); err == nil {
 			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+	// Stray commas are rejected like SplitNames rejects them, not dropped.
+	for _, bad := range []string{"1,,2", "1,2,", ",1"} {
+		if _, _, err := ParseProcs(bad, 4, false); err == nil || !strings.Contains(err.Error(), "empty -procs") {
+			t.Fatalf("spec %q not rejected for empty segment: %v", bad, err)
 		}
 	}
 	// Even -virtual has a ceiling.

@@ -91,8 +91,10 @@ func spinPipeline(eng *piper.Engine, k int, model *dag.Pipeline) piper.PipelineR
 		for j := 1; j < len(row); j++ {
 			nd := row[j]
 			if nd.Cross {
+				//piper:allow-dynamic-stage replaying a recorded stage trace; the recorder emitted it monotone
 				it.Wait(nd.Stage)
 			} else {
+				//piper:allow-dynamic-stage replaying a recorded stage trace; the recorder emitted it monotone
 				it.Continue(nd.Stage)
 			}
 			workload.SpinMicros(nd.Weight)
@@ -265,8 +267,10 @@ func AdaptiveThrottle(w io.Writer, p int, sz SizeSpec) *Table {
 				workload.SpinMicros(row[0].Weight)
 				for j := 1; j < len(row); j++ {
 					if row[j].Cross {
+						//piper:allow-dynamic-stage replaying a recorded stage trace; the recorder emitted it monotone
 						it.Wait(row[j].Stage)
 					} else {
+						//piper:allow-dynamic-stage replaying a recorded stage trace; the recorder emitted it monotone
 						it.Continue(row[j].Stage)
 					}
 					workload.SpinMicros(row[j].Weight)

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -178,4 +179,82 @@ func cancelStressNestedForkJoin(t *testing.T, mutate func(*Options)) {
 	checkEngineDrained(t, e)
 	e.Close()
 	checkGoroutinesSettle(t, base, 4)
+}
+
+// TestCancelStressCancelRacesClose storms Handle.Cancel against
+// Engine.Close with the scheduler perturbation hooks active: submissions
+// keep arriving while Close fires mid-storm, and every handle is canceled
+// from a racing waiter. Each Wait must resolve to nil (completed before
+// the drain), context.Canceled (the cancel won), or ErrEngineClosed (the
+// submission lost the race to Close) — never anything else, never a hang
+// — and the goroutine count must settle back to baseline: the abort
+// unwinding and the close drain may not strand each other's frames.
+func TestCancelStressCancelRacesClose(t *testing.T) {
+	for _, seed := range []uint64{0x5eed1, 0xbead2, 0xfeed3} {
+		t.Run(fmt.Sprintf("seed%x", seed), func(t *testing.T) {
+			base := goroutineBaseline()
+			opts := DefaultOptions()
+			opts.Workers = 4
+			opts.hooks = newPerturber(seed)
+			e := NewEngine(opts)
+
+			const pipelines = 120
+			rng := workload.NewRNG(seed)
+			closeAt := 40 + int(rng.Intn(40))
+			var (
+				wg        sync.WaitGroup
+				completed atomic.Int64
+				canceled  atomic.Int64
+				closed    atomic.Int64
+			)
+			for p := 0; p < pipelines; p++ {
+				delay := time.Duration(rng.Intn(200)) * time.Microsecond
+				if p > closeAt {
+					// Spread the tail of the storm across the close drain so
+					// some submissions genuinely lose the race and resolve
+					// with ErrEngineClosed instead of all sneaking in first.
+					time.Sleep(time.Duration(rng.Intn(60)) * time.Microsecond)
+				}
+				i := 0
+				var sink atomic.Uint64
+				h := e.Submit(nil, func() bool { i++; return i <= 20 }, func(it *Iter) {
+					it.Continue(1)
+					sink.Add(workload.Spin(300))
+					it.Wait(2)
+				})
+				if p == closeAt {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						e.Close()
+					}()
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					time.Sleep(delay)
+					h.Cancel()
+					switch err := h.Wait(); {
+					case err == nil:
+						completed.Add(1)
+					case errors.Is(err, context.Canceled):
+						canceled.Add(1)
+					case errors.Is(err, ErrEngineClosed):
+						closed.Add(1)
+					default:
+						t.Errorf("Wait = %v, want nil, context.Canceled, or ErrEngineClosed", err)
+					}
+				}()
+			}
+			wg.Wait()
+			e.Close() // idempotent: the racing Close already won
+			if total := completed.Load() + canceled.Load() + closed.Load(); total != pipelines {
+				t.Errorf("accounting: %d completed + %d canceled + %d closed != %d",
+					completed.Load(), canceled.Load(), closed.Load(), pipelines)
+			}
+			t.Logf("completed=%d canceled=%d closed=%d (close at submission %d)",
+				completed.Load(), canceled.Load(), closed.Load(), closeAt)
+			checkGoroutinesSettle(t, base, 4)
+		})
+	}
 }

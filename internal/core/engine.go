@@ -324,6 +324,7 @@ func NewEngine(opts Options) *Engine {
 	e.liveN.Store(int32(opts.Workers))
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
+		//piper:allow-go accounted: the wg.Add above pairs with loop's deferred wg.Done, drained by Close
 		go e.workers[i].loop()
 	}
 	return e
@@ -352,6 +353,7 @@ func (e *Engine) maybeSpawn() {
 			e.liveN.Add(1)
 			e.stats.workerSpawns.Add(1)
 			e.wg.Add(1)
+			//piper:allow-go accounted: the wg.Add above pairs with loop's deferred wg.Done, drained by Close
 			go w.loop()
 			return
 		}

@@ -223,6 +223,7 @@ func (f *frame) driveSegment(w *worker) yieldMsg {
 	w.eng.stats.segments.Add(1)
 	if !f.started {
 		f.started = true
+		//piper:allow-go bounded by the frame: corun exits when the body returns, and the driver holds the yield handshake until then
 		go f.corun()
 	}
 	f.co.resume <- struct{}{}
@@ -577,6 +578,7 @@ func (f *frame) promote() {
 		f.co = e.acquireCoTail()
 	}
 	f.started = true
+	//piper:allow-go bounded by the pipeline: takeover drives this frame to stageDone, which the pipe_while drain awaits
 	go w.takeover(f)
 }
 

@@ -260,10 +260,10 @@ func (it *Iter) Continue(j int64) {
 }
 
 // WaitNext is Wait with the implicit stage argument j+1.
-func (it *Iter) WaitNext() { it.Wait(it.Stage() + 1) }
+func (it *Iter) WaitNext() { it.Wait(it.Stage() + 1) } //piper:allow-dynamic-stage Stage()+1 is monotone by construction
 
 // ContinueNext is Continue with the implicit stage argument j+1.
-func (it *Iter) ContinueNext() { it.Continue(it.Stage() + 1) }
+func (it *Iter) ContinueNext() { it.Continue(it.Stage() + 1) } //piper:allow-dynamic-stage Stage()+1 is monotone by construction
 
 // parkOnCross publishes the waiting state and parks unless the edge
 // resolved in the meantime (publish-then-recheck; see frame.go). Wakes

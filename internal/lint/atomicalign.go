@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicAlign machine-checks the two layout disciplines the hot structs
+// (frame, engine, worker, the deque) maintain by hand:
+//
+//   - any field passed by address to a raw 64-bit sync/atomic function
+//     must sit at an 8-aligned offset under 32-bit (GOARCH=386) struct
+//     layout, where the compiler only guarantees 4-byte alignment —
+//     misalignment faults at run time on 32-bit hardware. (The typed
+//     atomic.Int64/Uint64 wrappers are exempt: the runtime aligns them.)
+//   - a cache-line pad field must actually work: the fields on either
+//     side of it must land in distinct 64-byte lines under amd64 layout,
+//     otherwise the pad is silently too small and the "isolated" hot
+//     words still false-share.
+var AtomicAlign = &Analyzer{
+	Name:  "atomicalign",
+	Allow: "align",
+	Doc: "check that raw 64-bit sync/atomic operands are 8-aligned under 32-bit struct layout and " +
+		"that cache-line pad fields actually separate their neighbors into distinct 64-byte lines",
+	Run: runAtomicAlign,
+}
+
+// atomic64Funcs are the raw sync/atomic entry points operating on 64-bit
+// words through a pointer.
+var atomic64Funcs = map[string]bool{
+	"sync/atomic.LoadInt64":            true,
+	"sync/atomic.StoreInt64":           true,
+	"sync/atomic.AddInt64":             true,
+	"sync/atomic.SwapInt64":            true,
+	"sync/atomic.CompareAndSwapInt64":  true,
+	"sync/atomic.LoadUint64":           true,
+	"sync/atomic.StoreUint64":          true,
+	"sync/atomic.AddUint64":            true,
+	"sync/atomic.SwapUint64":           true,
+	"sync/atomic.CompareAndSwapUint64": true,
+}
+
+var (
+	sizes386   = types.SizesFor("gc", "386")
+	sizesAMD64 = types.SizesFor("gc", "amd64")
+)
+
+func runAtomicAlign(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkAtomicOperand(p, n)
+			case *ast.TypeSpec:
+				checkPadding(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkAtomicOperand flags atomic.XxxInt64(&s.f, ...) where f's offset is
+// not 8-aligned under 386 layout.
+func checkAtomicOperand(p *Pass, call *ast.CallExpr) {
+	if !atomic64Funcs[callKey(p.Info, call)] || len(call.Args) == 0 {
+		return
+	}
+	addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+	if !ok {
+		return // &local or &slice[i]: the compiler/runtime align those
+	}
+	off, path, ok := fieldOffset(p.Info, sel, sizes386)
+	if !ok {
+		return
+	}
+	if off%8 != 0 {
+		p.Reportf(call.Args[0].Pos(), "64-bit atomic operand %s sits at offset %d under 32-bit "+
+			"(GOARCH=386) struct layout, which only guarantees 4-byte alignment: the access faults "+
+			"on 32-bit hardware; move the field to the front of the struct or pad it to an "+
+			"8-aligned offset", path, off)
+	}
+}
+
+// fieldOffset computes the cumulative byte offset of the field a selector
+// chain denotes within its outermost struct, under the given layout.
+func fieldOffset(info *types.Info, sel *ast.SelectorExpr, sizes types.Sizes) (int64, string, bool) {
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return 0, "", false
+	}
+	t := selection.Recv()
+	var off int64
+	for _, idx := range selection.Index() {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, "", false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += sizes.Offsetsof(fields)[idx]
+		t = st.Field(idx).Type()
+	}
+	name := selection.Obj().Name()
+	if recv, ok := deref(selection.Recv()).(*types.Named); ok {
+		name = recv.Obj().Name() + "." + name
+	}
+	return off, name, true
+}
+
+func deref(t types.Type) types.Type {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// isPadField recognizes a deliberate cache-line pad: a byte-array field
+// whose name or type says so (cacheLinePad, _pad0 [56]byte, ...).
+func isPadField(f *types.Var) bool {
+	named := strings.Contains(strings.ToLower(f.Name()), "pad")
+	if n, ok := f.Type().(*types.Named); ok && strings.Contains(strings.ToLower(n.Obj().Name()), "pad") {
+		named = true
+	}
+	if !named {
+		return false
+	}
+	arr, ok := f.Type().Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte && arr.Len() >= 1
+}
+
+// checkPadding verifies, under amd64 layout, that each pad field pushes
+// its following neighbor into a different 64-byte line than the one the
+// preceding neighbor starts in.
+func checkPadding(p *Pass, spec *ast.TypeSpec) {
+	obj := p.Info.Defs[spec.Name]
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok || st.NumFields() == 0 {
+		return
+	}
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := sizesAMD64.Offsetsof(fields)
+	const line = 64
+	for i, f := range fields {
+		if !isPadField(f) || i == 0 || i == len(fields)-1 {
+			continue
+		}
+		if isPadField(fields[i-1]) {
+			continue // interior of a pad run: the run's head already checked it
+		}
+		// The nearest real fields on either side of (a run of) pads.
+		prev := i - 1
+		for prev >= 0 && isPadField(fields[prev]) {
+			prev--
+		}
+		next := i + 1
+		for next < len(fields) && isPadField(fields[next]) {
+			next++
+		}
+		if prev < 0 || next >= len(fields) {
+			continue
+		}
+		if offsets[prev]/line == offsets[next]/line {
+			p.Reportf(spec.Name.Pos(), "pad field %s.%s is too small: %s (offset %d) and %s (offset %d) "+
+				"still share a 64-byte cache line under amd64 layout, so the pad buys no false-sharing "+
+				"isolation; widen it so the neighbors land in distinct lines",
+				spec.Name.Name, f.Name(), fields[prev].Name(), offsets[prev], fields[next].Name(), offsets[next])
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BatchSafety enforces the batch-safety contract documented on Pipe
+// (pipe.go): a pipeline body may block only through piper primitives
+// (Wait, Sync, nested pipelines — the scheduler detects those and splits
+// the claimed batch), because blocking on external synchronization that a
+// later iteration of the same pipeline would satisfy deadlocks the worker
+// that claimed the batch. The analyzer flags the blocking constructs the
+// contract names — raw channel operations, select, sync.Mutex/RWMutex
+// lock acquisition, sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep —
+// lexically inside pipeline conditions and bodies.
+var BatchSafety = &Analyzer{
+	Name:  "batchsafety",
+	Allow: "block",
+	Doc: "flag raw blocking constructs (channel ops, select, mutex/WaitGroup/Cond waits, time.Sleep) " +
+		"inside pipeline bodies, which defeat batch splitting and can deadlock a claimed batch; " +
+		"suppress an intentional one with //piper:allow-block <reason>",
+	Run: runBatchSafety,
+}
+
+const batchContract = "bodies may block only through piper primitives (batch-safety contract, pipe.go); " +
+	"annotate //piper:allow-block <reason> if intentional"
+
+// blockingCalls maps funcKey to the construct name shown in diagnostics.
+var blockingCalls = map[string]string{
+	"time.Sleep":          "time.Sleep",
+	"sync.Mutex.Lock":     "sync.Mutex.Lock",
+	"sync.RWMutex.Lock":   "sync.RWMutex.Lock",
+	"sync.RWMutex.RLock":  "sync.RWMutex.RLock",
+	"sync.WaitGroup.Wait": "sync.WaitGroup.Wait",
+	"sync.Cond.Wait":      "sync.Cond.Wait",
+	"sync.Once.Do":        "sync.Once.Do",
+}
+
+func runBatchSafety(p *Pass) {
+	for _, file := range p.Files {
+		bodies := pipelineBodies(p, file)
+		for _, body := range bodies {
+			inspectBody(body, bodies, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					p.Reportf(n.Arrow, "raw channel send in pipeline body: %s", batchContract)
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						p.Reportf(n.OpPos, "raw channel receive in pipeline body: %s", batchContract)
+					}
+				case *ast.SelectStmt:
+					p.Reportf(n.Select, "select in pipeline body: %s", batchContract)
+				case *ast.RangeStmt:
+					if t := p.Info.TypeOf(n.X); t != nil {
+						if _, ok := t.Underlying().(*types.Chan); ok {
+							p.Reportf(n.For, "range over channel in pipeline body: %s", batchContract)
+						}
+					}
+				case *ast.CallExpr:
+					if name, ok := blockingCalls[callKey(p.Info, n)]; ok {
+						p.Reportf(n.Pos(), "%s in pipeline body: %s", name, batchContract)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

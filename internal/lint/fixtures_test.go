@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"testing"
+
+	"piper/internal/lint"
+	"piper/internal/lint/linttest"
+)
+
+func TestBatchSafetyFixture(t *testing.T) {
+	linttest.Run(t, "batchsafety", "fixture/batchsafety", lint.BatchSafety)
+}
+
+func TestArenaRefFixture(t *testing.T) {
+	linttest.Run(t, "arenaref", "fixture/arenaref", lint.ArenaRef)
+}
+
+func TestStageDisciplineFixture(t *testing.T) {
+	linttest.Run(t, "stagediscipline", "fixture/stagediscipline", lint.StageDiscipline)
+}
+
+func TestAtomicAlignFixture(t *testing.T) {
+	linttest.Run(t, "atomicalign", "fixture/atomicalign", lint.AtomicAlign)
+}
+
+func TestNakedGoFixture(t *testing.T) {
+	linttest.Run(t, "nakedgo", "fixture/nakedgo", lint.NakedGo)
+}
+
+// The engine-internal rule keys on the import path, which the harness
+// lets the fixture assume.
+func TestNakedGoEngineFixture(t *testing.T) {
+	linttest.Run(t, "enginecore", "piper/internal/core", lint.NakedGo)
+}

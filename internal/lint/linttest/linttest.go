@@ -1,0 +1,126 @@
+// Package linttest is the fixture harness for the analyzers in
+// internal/lint, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library: a fixture package under testdata/src annotates
+// the lines it expects diagnostics on with
+//
+//	// want "regexp" "another regexp"
+//
+// and Run checks that the analyzers produce exactly those findings —
+// every expectation matched by a diagnostic on that line, every
+// diagnostic claimed by an expectation.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"piper/internal/lint"
+)
+
+// expectation is one `// want` pattern, anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRe captures the quoted patterns after a want marker.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the fixture package at testdata/src/<pkg> (relative to the
+// test's working directory), records it under importPath, applies the
+// analyzers, and reports any mismatch between the diagnostics produced
+// and the `// want` expectations in the fixture source.
+func Run(t *testing.T, pkg, importPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkg))
+	loaded, err := lint.CheckDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+
+	var wants []*expectation
+	for _, file := range loaded.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := loaded.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	diags := lint.Run([]*lint.Package{loaded}, analyzers)
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parsePatterns splits `"p1" "p2"` into its unquoted patterns.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		// Find the closing quote, honoring escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return out, nil
+}

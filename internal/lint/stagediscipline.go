@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// StageDiscipline checks the stage arguments handed to Iter.Wait and
+// Iter.Continue. The runtime enforces strict monotonicity per iteration
+// (checkStageArg panics on a non-increasing argument) and the
+// differential fuzzer hunts cross-iteration waits that outrun what the
+// body actually records; this analyzer moves both to compile time where
+// the arguments are constants:
+//
+//   - a non-constant stage argument defeats static verification (and is
+//     the precondition for every dynamic-stage unsoundness class), so it
+//     must carry a //piper:allow-dynamic-stage annotation explaining the
+//     dependency structure — the x264-style row dags in internal/vidsim
+//     are the intended users;
+//   - consecutive constant transitions on a straight-line path must
+//     strictly increase, mirroring the runtime panic;
+//   - in a body whose transitions are all constant, a Wait whose stage
+//     exceeds every other recorded stage by more than one waits on a node
+//     the previous iteration never runs: the edge resolves only when the
+//     predecessor completes outright, silently serializing the pipeline.
+var StageDiscipline = &Analyzer{
+	Name:  "stagediscipline",
+	Allow: "dynamic-stage",
+	Doc: "flag non-constant stage arguments to Iter.Wait/Continue (annotate intentional dynamic " +
+		"dags with //piper:allow-dynamic-stage <reason>), constant transitions that do not " +
+		"strictly increase, and waits above the max stage the body records",
+	Run: runStageDiscipline,
+}
+
+// stageTransitions maps funcKey to whether the call is a Wait (true) or a
+// Continue (false).
+var stageTransitions = map[string]bool{
+	"piper/internal/core.Iter.Wait":     true,
+	"piper/internal/core.Iter.Continue": false,
+}
+
+// transition is one Wait/Continue call inside the function under analysis.
+type transition struct {
+	call   *ast.CallExpr
+	isWait bool
+	val    int64 // constant stage argument
+	konst  bool  // val is valid
+}
+
+func runStageDiscipline(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkStages(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// transitionAt returns the transition a call expression denotes, if any.
+func transitionAt(p *Pass, call *ast.CallExpr) (transition, bool) {
+	isWait, ok := stageTransitions[callKey(p.Info, call)]
+	if !ok || len(call.Args) != 1 {
+		return transition{}, false
+	}
+	t := transition{call: call, isWait: isWait}
+	if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact {
+			t.val, t.konst = v, true
+		}
+	}
+	return t, true
+}
+
+// checkStages analyzes the transitions lexically inside one function body,
+// not descending into nested function literals (each gets its own visit:
+// a closure's transitions belong to whatever iteration eventually runs it,
+// not to the enclosing body's stage sequence).
+func checkStages(p *Pass, body *ast.BlockStmt) {
+	var trans []transition
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if t, ok := transitionAt(p, call); ok {
+				trans = append(trans, t)
+			}
+		}
+		return true
+	})
+	if len(trans) == 0 {
+		return
+	}
+
+	allConst := true
+	for _, t := range trans {
+		if !t.konst {
+			allConst = false
+			p.Reportf(t.call.Pos(), "non-constant stage argument: the scheduler cannot be statically "+
+				"checked against a dynamic stage dag (checkStageArg only catches violations at run "+
+				"time); annotate //piper:allow-dynamic-stage <reason> if the dependency structure "+
+				"requires it")
+		}
+	}
+	if !allConst {
+		return
+	}
+
+	// Strictly-increasing on straight-line paths: consecutive direct
+	// transitions in one statement list. Any intervening statement that
+	// hides a transition (a loop, a branch) resets the chain — its body
+	// may record stages this scan cannot order.
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		var last *transition
+		for _, st := range block.List {
+			if t, ok := directTransition(p, st); ok {
+				if last != nil && t.val <= last.val {
+					p.Reportf(t.call.Pos(), "stage argument %d does not increase past the preceding "+
+						"transition to stage %d: stage arguments must strictly increase within an "+
+						"iteration (checkStageArg panics on this at run time)", t.val, last.val)
+				}
+				last = &t
+			} else if containsTransition(p, st) {
+				last = nil
+			}
+		}
+		return true
+	})
+
+	// Wait above the recorded max: with every transition constant, the
+	// largest stage any other transition records bounds what the previous
+	// iteration publishes mid-flight.
+	for i, t := range trans {
+		if !t.isWait {
+			continue
+		}
+		var max int64
+		for j, o := range trans {
+			if j != i && o.val > max {
+				max = o.val
+			}
+		}
+		if t.val > max+1 {
+			p.Reportf(t.call.Pos(), "wait on stage %d exceeds every stage this body otherwise records "+
+				"(max %d): the cross-iteration edge is only satisfied by the previous iteration "+
+				"completing outright, which serializes the pipeline — likely a mistyped stage number",
+				t.val, max)
+		}
+	}
+}
+
+// directTransition matches a statement that is exactly a transition call:
+// `it.Wait(c)` or `it.Continue(c)` as an expression statement.
+func directTransition(p *Pass, st ast.Stmt) (transition, bool) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return transition{}, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return transition{}, false
+	}
+	return transitionAt(p, call)
+}
+
+// containsTransition reports whether any transition call hides anywhere
+// inside the statement (outside nested function literals).
+func containsTransition(p *Pass, st ast.Stmt) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := transitionAt(p, call); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,68 @@
+// Package arenaref is the arenaref analyzer fixture: locally-owned refs
+// that leak, release without defer, or get used after release, plus the
+// clean ownership patterns.
+package arenaref
+
+import "piper/internal/arena"
+
+func leakNoRelease(a *arena.Arena) int {
+	ref := a.Get(64) // want "arena ref ref is never released in this function"
+	return len(ref.Bytes())
+}
+
+func straightLineRelease(a *arena.Arena) int {
+	ref := a.Get(64)
+	n := len(ref.Bytes())
+	ref.Release() // want "arena ref ref released without defer"
+	return n
+}
+
+func useAfterRelease(a *arena.Arena) byte {
+	ref := a.Get(64)
+	b := ref.Bytes()[0]
+	ref.Release()             // want "arena ref ref released without defer"
+	return b + ref.Bytes()[0] // want "use of arena ref ref after Release"
+}
+
+func deferredRelease(a *arena.Arena) int {
+	ref := a.Get(64)
+	defer ref.Release()
+	return len(ref.Bytes())
+}
+
+func deferredClosureRelease(a *arena.Arena) int {
+	ref := a.Get(64)
+	defer func() {
+		if ref != nil {
+			ref.Release()
+		}
+	}()
+	return len(ref.Bytes())
+}
+
+// Ownership that leaves the function is the dynamic layer's problem.
+func escapes(a *arena.Arena) *arena.Ref {
+	ref := a.Get(64)
+	return ref
+}
+
+func handsOff(a *arena.Arena, sink chan *arena.Ref) {
+	ref := a.Get(64)
+	defer ref.Release()
+	sink <- ref.Retain()
+}
+
+// arena.View is a read, not a hand-off: it neither exempts nor releases.
+func viewIsRead(a *arena.Arena) []int32 {
+	ref := a.Get(64)
+	defer ref.Release()
+	return arena.View[int32](ref, 16)
+}
+
+func annotated(a *arena.Arena) int {
+	ref := a.Get(64)
+	n := len(ref.Bytes())
+	//piper:allow-ref nothing between Get and Release can panic, and the handle never crosses a cancel point
+	ref.Release()
+	return n
+}

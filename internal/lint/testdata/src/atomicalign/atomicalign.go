@@ -1,0 +1,57 @@
+// Package atomicalign is the atomicalign analyzer fixture: misaligned
+// raw 64-bit atomics and undersized cache-line pads, plus clean layouts.
+package atomicalign
+
+import "sync/atomic"
+
+type misaligned struct {
+	flag bool
+	n    int64 // offset 4 under GOARCH=386 layout
+}
+
+func bump(m *misaligned) {
+	atomic.AddInt64(&m.n, 1) // want "64-bit atomic operand misaligned.n sits at offset 4"
+}
+
+type aligned struct {
+	n    int64
+	flag bool
+}
+
+func bumpAligned(a *aligned) {
+	atomic.AddInt64(&a.n, 1)
+}
+
+// The typed wrappers are runtime-aligned; only raw pointer atomics need
+// the layout check.
+type typed struct {
+	flag bool
+	n    atomic.Int64
+}
+
+func bumpTyped(t *typed) { t.n.Add(1) }
+
+type badPad struct { // want "pad field badPad._pad is too small"
+	hot  atomic.Int64
+	_pad [8]byte
+	cold atomic.Int64
+}
+
+type goodPad struct {
+	hot  atomic.Int64
+	_pad [56]byte
+	cold atomic.Int64
+}
+
+//piper:allow-align both words are written by the same goroutine; the pad only splits reader traffic
+type acceptedPad struct {
+	hot  atomic.Int64
+	_pad [8]byte
+	cold atomic.Int64
+}
+
+var (
+	_ = badPad{}
+	_ = goodPad{}
+	_ = acceptedPad{}
+)

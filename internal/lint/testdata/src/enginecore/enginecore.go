@@ -1,0 +1,16 @@
+// Package core is the nakedgo analyzer fixture (engine-internal half):
+// the harness loads it under the import path piper/internal/core, where
+// every goroutine must be accounted to the Close-time WaitGroup.
+package core
+
+func spawnLoop(loops []func()) {
+	for _, l := range loops {
+		go l() // want "raw go statement in engine-internal code"
+	}
+}
+
+func accountedSpawn(wg interface{ Add(int) }, l func()) {
+	wg.Add(1)
+	//piper:allow-go accounted: Close drains the worker WaitGroup this Add charged
+	go l()
+}

@@ -1,0 +1,29 @@
+// Package nakedgo is the nakedgo analyzer fixture (user-code half): raw
+// goroutines inside pipeline bodies versus Iter.Go.
+package nakedgo
+
+import "piper"
+
+func flagged(eng *piper.Engine, results []int) {
+	i := 0
+	piper.Pipe(eng, func() (int, bool) { i++; return i, i < 8 }, func(it *piper.Iter, v int) {
+		go func() { results[v] = v * v }() // want "raw go statement in pipeline body"
+	})
+}
+
+func clean(eng *piper.Engine, results []int) {
+	i := 0
+	piper.Pipe(eng, func() (int, bool) { i++; return i, i < 8 }, func(it *piper.Iter, v int) {
+		it.Go(func() { results[v] = v * v })
+		it.Sync()
+	})
+	go func() { results[0] = 0 }() // outside a body: ordinary Go
+}
+
+func annotated(eng *piper.Engine, done chan struct{}) {
+	i := 0
+	piper.Pipe(eng, func() (int, bool) { i++; return i, i < 8 }, func(it *piper.Iter, v int) {
+		//piper:allow-go the caller joins on done before the pipeline returns
+		go func() { done <- struct{}{} }()
+	})
+}

@@ -1,0 +1,50 @@
+// Package stagediscipline is the stagediscipline analyzer fixture:
+// decreasing, dynamic, and runaway stage arguments, plus the clean
+// monotone patterns.
+package stagediscipline
+
+import "piper"
+
+func decreasing(eng *piper.Engine) {
+	i := 0
+	piper.Pipe(eng, func() (int, bool) { i++; return i, i < 4 }, func(it *piper.Iter, v int) {
+		it.Continue(2)
+		it.Wait(1) // want "stage argument 1 does not increase past the preceding transition to stage 2"
+	})
+}
+
+func dynamic(it *piper.Iter, rows int) {
+	for r := 0; r < rows; r++ {
+		it.Wait(int64(r) + 1) // want "non-constant stage argument"
+	}
+}
+
+func dynamicAnnotated(it *piper.Iter, rows int) {
+	for r := 0; r < rows; r++ {
+		//piper:allow-dynamic-stage wavefront: row r waits on row r-1 of the previous iteration
+		it.Wait(int64(r) + 1)
+	}
+}
+
+func typoStage(it *piper.Iter) {
+	it.Continue(1)
+	it.Wait(2)
+	it.Wait(30) // want "wait on stage 30 exceeds every stage this body otherwise records"
+}
+
+func clean(it *piper.Iter) {
+	it.Continue(1)
+	it.Wait(2)
+	it.Wait(3)
+}
+
+// Branching resets the straight-line chain: the scan does not guess
+// which arm ran.
+func cleanBranch(it *piper.Iter, fast bool) {
+	if fast {
+		it.Continue(1)
+	} else {
+		it.Wait(1)
+	}
+	it.Wait(2)
+}

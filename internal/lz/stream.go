@@ -428,8 +428,13 @@ func compressChunk(outer *piper.Iter, a *arena.Arena, sc *streamCounters, o Stre
 	sc.chunks.Add(1)
 
 	if o.SerialBlocks {
+		// Deferred, not straight-line: factorizeBlock runs under a live
+		// cancellation scope, and an unwind between these Gets and a bare
+		// Release would leak both regions until arena teardown (arenaref).
 		sref := arenaGet(a, sc, o.blockScratchBytes())
+		defer sref.Release()
 		fref := arenaGet(a, sc, o.blockFactorBytes())
+		defer fref.Release()
 		scratch := arena.View[int32](sref, o.blockScratchBytes()/4)
 		for start := 0; start < n; start += o.BlockSize {
 			end := start + o.BlockSize
@@ -441,8 +446,6 @@ func compressChunk(outer *piper.Iter, a *arena.Arena, sc *streamCounters, o Stre
 			out = appendFactors(out, fs)
 			sc.blocks.Add(1)
 		}
-		fref.Release()
-		sref.Release()
 		j.out = out
 		return
 	}

@@ -66,6 +66,7 @@ func Fine(eng *piper.Engine, k, n int) *big.Int {
 		carry := uint8(0)
 		j := 0
 		for {
+			//piper:allow-dynamic-stage digit wavefront: stage j+1 waits on digit j of the previous iteration, strictly increasing in j
 			it.Wait(int64(j) + 1)
 			hasA, hasB := has(idx+1, j), has(idx+2, j)
 			if !hasA && !hasB && carry == 0 {
@@ -135,6 +136,7 @@ func Coarse(eng *piper.Engine, k, n int) *big.Int {
 		var carry uint64
 		j := 0
 		for {
+			//piper:allow-dynamic-stage limb wavefront: stage j+1 waits on limb j of the previous iteration, strictly increasing in j
 			it.Wait(int64(j) + 1)
 			hasA, hasB := has(idx+1, j), has(idx+2, j)
 			if !hasA && !hasB && carry == 0 {

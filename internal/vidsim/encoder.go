@@ -31,7 +31,7 @@ func DefaultConfig() Config {
 type Recon struct {
 	Frame    int
 	Pix      []byte
-	ref      *arena.Ref // arena region backing Pix; nil off the arena path
+	ref      *arena.Ref   // arena region backing Pix; nil off the arena path
 	rowsDone atomic.Int32 // completed macroblock rows
 }
 

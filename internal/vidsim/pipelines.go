@@ -176,7 +176,7 @@ func EncodePiper(eng *piper.Engine, k int, v *Video, cfg Config) *Result {
 		iterIdx++
 
 		base := processIPFrame + skip
-		it.Wait(base) // line 17: offset dependency into the row stages
+		it.Wait(base) //piper:allow-dynamic-stage line 17: offset dependency into the row stages (base grows by W per iteration)
 
 		var bits int64
 		var sig uint64 = 99194853094755497
@@ -187,8 +187,10 @@ func EncodePiper(eng *piper.Engine, k int, v *Video, cfg Config) *Result {
 			// Lines 20–24: conditional dependency on the previous
 			// reference frame's rows.
 			if job.typ == TypeI {
+				//piper:allow-dynamic-stage lines 20-24: I-frame rows have no reference dependency
 				it.Continue(base + int64(r) + 1)
 			} else {
+				//piper:allow-dynamic-stage lines 20-24: P-frame row r waits on the reference frame's row r
 				it.Wait(base + int64(r) + 1)
 			}
 		}

@@ -41,6 +41,7 @@ func EncodePiperStream(eng *piper.Engine, k int, v *Video, cfg Config) *Stream {
 		iterIdx++
 
 		base := processIPFrame + skip
+		//piper:allow-dynamic-stage offset dependency into the row stages (base grows by W per iteration)
 		it.Wait(base)
 
 		rowBufs := make([]*streamWriter, rows)
@@ -49,8 +50,10 @@ func EncodePiperStream(eng *piper.Engine, k int, v *Video, cfg Config) *Stream {
 			e.EncodeRowStream(job.fi, job.typ, r, job.rc, job.prev, w)
 			rowBufs[r] = w
 			if job.typ == TypeI {
+				//piper:allow-dynamic-stage I-frame rows have no reference dependency
 				it.Continue(base + int64(r) + 1)
 			} else {
+				//piper:allow-dynamic-stage P-frame row r waits on the reference frame's row r
 				it.Wait(base + int64(r) + 1)
 			}
 		}

@@ -66,7 +66,11 @@ func SubmitPipeWait[T any](ctx context.Context, eng *Engine, next func() (T, boo
 // on external synchronization that a later iteration of the same
 // pipeline would satisfy can deadlock, just as the paper requires
 // inter-iteration dependencies to be expressed via pipe_wait. Grain(1)
-// restores the strict one-iteration-per-claim protocol.
+// restores the strict one-iteration-per-claim protocol. The batchsafety
+// analyzer (internal/lint, `go run ./cmd/piperlint`) enforces this
+// contract statically: raw channel operations, select, mutex/WaitGroup
+// waits, and time.Sleep inside a body are flagged unless annotated
+// //piper:allow-block with a reason.
 //
 // Plan compilation (Options.CompilePlans, on by default) does not alter
 // this contract: a shape-stable pipeline's compiled dispatch preserves
