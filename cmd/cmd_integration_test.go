@@ -156,6 +156,23 @@ func TestPipeserveCmd(t *testing.T) {
 	}
 }
 
+func TestPipeserveQoS(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "pipeserve")
+	// Noisy-neighbour scenario at a small size: the quiet tenant is
+	// measured solo, then against a bursty flood through a low-weight
+	// quota-capped class. pipeserve exits nonzero (failing run) unless
+	// the quiet p99 stays inside the bound, both engines drain, and every
+	// class's admission counters reconcile; assert the markers too.
+	stdout, _ := run(t, bin,
+		"-qos", "-p", "2", "-maxpending", "4", "-requests", "600", "-work", "400", "-seed", "7")
+	for _, want := range []string{"failures=0", "drained=true", "accounting=true", "qos=true"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("missing %q in pipeserve qos output:\n%s", want, stdout)
+		}
+	}
+}
+
 func TestPipeserveBurstElastic(t *testing.T) {
 	dir := t.TempDir()
 	bin := build(t, dir, "pipeserve")

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// hist is a concurrency-safe latency sample collector. pipeserve keeps
+// one per (tenant class, outcome) pair: canceled requests abandon work
+// partway through — including however long the canceler slept before
+// firing — so folding them into the served histogram drags the reported
+// service percentiles toward the cancel schedule rather than the
+// engine's behaviour. Served and canceled samples are recorded into
+// separate histograms and only served ones feed the percentile lines.
+type hist struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (h *hist) record(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.mu.Unlock()
+}
+
+func (h *hist) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// sorted returns the samples in ascending order, copied so percentile
+// reads never race later records.
+func (h *hist) sorted() []time.Duration {
+	h.mu.Lock()
+	out := append([]time.Duration(nil), h.samples...)
+	h.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// percentile returns the nearest-rank q-quantile of an ascending-sorted
+// sample set: the smallest value with at least ceil(q*N) samples at or
+// below it. The previous implementation indexed with int(q*(N-1)), which
+// truncates instead of rounding up — for N=10 it reported p95 and p99
+// both as the 9th sample, understating every tail percentile by up to a
+// whole rank (and p999 never reached the maximum at any N < 1000).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// ladder returns [1ms, 2ms, ..., n ms], already sorted.
+func ladder(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return out
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		q    float64
+		want time.Duration
+	}{
+		{"empty", 0, 0.99, 0},
+		{"single-p50", 1, 0.50, 1 * time.Millisecond},
+		{"single-p999", 1, 0.999, 1 * time.Millisecond},
+		{"q0-clamps-to-min", 10, 0, 1 * time.Millisecond},
+		{"q1-is-max", 10, 1, 10 * time.Millisecond},
+		// Nearest rank: ceil(q*n). The old int(q*(n-1)) truncation
+		// reported 9ms for both of these — one full rank low.
+		{"p95-of-10", 10, 0.95, 10 * time.Millisecond},
+		{"p99-of-10", 10, 0.99, 10 * time.Millisecond},
+		{"p50-of-10", 10, 0.50, 5 * time.Millisecond},
+		{"p50-of-11", 11, 0.50, 6 * time.Millisecond},
+		{"p95-of-100", 100, 0.95, 95 * time.Millisecond},
+		{"p99-of-100", 100, 0.99, 99 * time.Millisecond},
+		// The old formula could never return the maximum for p999 at any
+		// n < 1000: int(0.999*99) == 98 picked the 99th sample of 100.
+		{"p999-of-100", 100, 0.999, 100 * time.Millisecond},
+		{"p999-of-1000", 1000, 0.999, 999 * time.Millisecond},
+		{"p999-of-2000", 2000, 0.999, 1998 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := percentile(ladder(tc.n), tc.q); got != tc.want {
+				t.Fatalf("percentile(ladder(%d), %v) = %v, want %v", tc.n, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistSeparatesOutcomes(t *testing.T) {
+	var ch classHists
+	ch.served.record(2 * time.Millisecond)
+	ch.served.record(4 * time.Millisecond)
+	ch.aborted.record(90 * time.Millisecond) // pre-cancel sleep, not service time
+	if got := ch.served.count(); got != 2 {
+		t.Fatalf("served count = %d, want 2", got)
+	}
+	if got := ch.aborted.count(); got != 1 {
+		t.Fatalf("aborted count = %d, want 1", got)
+	}
+	// The canceled sample must not leak into the served tail.
+	if got := percentile(ch.served.sorted(), 0.999); got != 4*time.Millisecond {
+		t.Fatalf("served p999 = %v, want 4ms", got)
+	}
+}

@@ -39,6 +39,16 @@ type Options struct {
 	// are not admission-controlled: they already apply backpressure by
 	// occupying their caller.
 	MaxPending int
+	// Tenants configures the engine's admission classes for multi-tenant
+	// QoS (see TenantClass): per-class pending quotas, weighted-fair
+	// (deficit round-robin) sharing of contended admission capacity, and
+	// optional per-class admission deadlines. The default class "" always
+	// exists (plain Submit/SubmitWait admit through it); listing a class
+	// named "" re-tunes it. Empty means one undifferentiated class, the
+	// pre-tenant behavior. Tenant classes without a MaxPending budget are
+	// legal: admission then only enforces per-class quotas and keeps
+	// per-class accounting.
+	Tenants []TenantClass
 	// Throttle is the default throttling limit K for pipelines started on
 	// this engine; 0 means 4·P, the paper's recommended setting (with P
 	// the pool ceiling MaxWorkers on an elastic engine).
@@ -272,17 +282,15 @@ type Engine struct {
 	submitMu sync.RWMutex
 	closed   atomic.Bool
 	closedCh chan struct{}
-	// closingCh is closed as soon as the closed flag flips (closedCh only
-	// closes after the workers exit); it releases SubmitWait callers
-	// blocked on admission so Close never strands a waiter.
-	closingCh chan struct{}
-	wg        sync.WaitGroup
+	wg       sync.WaitGroup
 
-	// admitCh is the admission budget: nil when Options.MaxPending is 0,
-	// otherwise a token channel of capacity MaxPending. A send acquires a
-	// slot (admits one top-level submitted pipeline), a receive releases
-	// it at pipeline completion (finishTopLevel).
-	admitCh chan struct{}
+	// adm is the admission queue (see admission.go): nil when the engine
+	// has neither a MaxPending budget nor tenant classes — submissions
+	// then skip admission entirely, as before. Otherwise every
+	// Submit/SubmitWait acquires a slot from its tenant class here, and
+	// finishTopLevel releases it at pipeline completion, waking queued
+	// SubmitWait callers in weighted-fair order.
+	adm *admitter
 
 	// tracing enables per-segment event capture (see trace.go).
 	tracing atomic.Bool
@@ -297,16 +305,13 @@ type Engine struct {
 func NewEngine(opts Options) *Engine {
 	opts.normalize()
 	e := &Engine{
-		opts:      opts,
-		closedCh:  make(chan struct{}),
-		closingCh: make(chan struct{}),
-		canGrow:   opts.elastic(),
-		hooks:     opts.hooks,
-		arena:     arena.New(opts.ArenaBuffers),
+		opts:     opts,
+		closedCh: make(chan struct{}),
+		canGrow:  opts.elastic(),
+		hooks:    opts.hooks,
+		arena:    arena.New(opts.ArenaBuffers),
 	}
-	if opts.MaxPending > 0 {
-		e.admitCh = make(chan struct{}, opts.MaxPending)
-	}
+	e.adm = newAdmitter(e, &opts)
 	e.workers = make([]*worker, opts.MaxWorkers)
 	for i := range e.workers {
 		e.workers[i] = &worker{
@@ -442,8 +447,8 @@ func (e *Engine) readGauges() statGauges {
 		livePipes:   e.pools.livePipeline.Load(),
 		liveWorkers: int64(e.liveN.Load()),
 	}
-	if e.admitCh != nil {
-		g.pendingAdmitted = int64(len(e.admitCh))
+	if e.adm != nil {
+		g.pendingAdmitted = e.adm.totalGauge.Load()
 	}
 	ac := e.arena.Stats()
 	g.arenaLive = ac.LiveBytes
@@ -509,10 +514,14 @@ func (e *Engine) Close() {
 	if !closing {
 		return
 	}
-	// Release SubmitWait callers blocked on admission before waking the
+	// Release SubmitWait callers queued for admission before waking the
 	// workers: a waiter admitted after this point would inject into a
-	// closing engine, and one left blocked would never return.
-	close(e.closingCh)
+	// closing engine, and one left queued would never return. The
+	// admitter fails each with ErrEngineClosed and refuses later
+	// enqueues under the same mutex, so no waiter can slip in between.
+	if e.adm != nil {
+		e.adm.close()
+	}
 	// Wake every parked worker: each observes the closed flag, runs a
 	// final drain scan (ordered after the flag, hence after every
 	// successful inject), and exits once no work remains. Workers that

@@ -34,9 +34,11 @@ type pipeline struct {
 	// sub is the Handle of an asynchronous submission (nil for blocking
 	// PipeWhile); completion is harvested into it by finishTopLevel.
 	sub *Handle
-	// admitted marks a submission holding a MaxPending admission slot,
-	// released by finishTopLevel when the pipeline completes.
+	// admitted marks a submission holding an admission slot, released by
+	// finishTopLevel when the pipeline completes; tenant is the admission
+	// class index the slot is charged to (see admission.go).
 	admitted bool
+	tenant   int
 	// abort points at the submission's cancellation word, shared by every
 	// pipeline nested under the same Submit; nil when the pipeline cannot
 	// be canceled. The abortState is owned by the Handle and outlives this

@@ -229,6 +229,7 @@ func (e *Engine) acquirePipeline() *pipeline {
 	pl.done = nil
 	pl.sub = nil
 	pl.admitted = false
+	pl.tenant = 0
 	pl.abort = nil
 	pl.nextIndex = 0
 	pl.phase = phaseLoop
@@ -289,6 +290,7 @@ func (e *Engine) releasePipeline(pl *pipeline) {
 	pl.done = nil
 	pl.sub = nil
 	pl.admitted = false
+	pl.tenant = 0
 	pl.abort = nil
 	pl.prevIter = nil
 	e.pools.pipeline.Put(pl)

@@ -120,12 +120,14 @@ type Stats struct {
 	// idle grace period. Always zero on a fixed-P engine.
 	WorkerSpawns, WorkerRetires int64
 	// Saturations counts admissions that failed against the
-	// Options.MaxPending budget: Submit calls rejected with ErrSaturated
-	// plus SubmitWait calls whose context expired (or engine closed)
-	// before a slot freed.
+	// Options.MaxPending budget or a tenant class quota: Submit calls
+	// rejected with ErrSaturated plus SubmitWait calls whose context,
+	// class admission deadline, or engine expired before a slot freed.
+	// Per-class breakdowns are in Engine.TenantStats.
 	Saturations int64
-	// AdmissionWaitNs is the total time SubmitWait callers spent blocked
-	// waiting for an admission slot, in nanoseconds.
+	// AdmissionWaitNs is the total time SubmitWait callers spent queued
+	// for an admission slot, in nanoseconds, summed over all tenant
+	// classes.
 	AdmissionWaitNs int64
 	// PendingAdmitted is the gauge of admission slots currently held —
 	// top-level submitted pipelines admitted and not yet completed. Zero

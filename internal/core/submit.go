@@ -43,11 +43,24 @@ import (
 var ErrEngineClosed = errors.New("piper: engine closed")
 
 // ErrSaturated is reported through a Handle when Submit finds the engine's
-// pending-pipeline budget (Options.MaxPending) exhausted. It is the
-// reject admission policy: the caller learns immediately, sheds or retries
-// with its own policy, and no scheduler state was allocated. SubmitWait is
-// the blocking alternative — it never reports ErrSaturated.
+// pending-pipeline budget (Options.MaxPending, or the tenant class's own
+// quota) exhausted. It is the reject admission policy: the caller learns
+// immediately, sheds or retries with its own policy, and no scheduler
+// state was allocated. SubmitWait is the blocking alternative — it never
+// reports ErrSaturated.
 var ErrSaturated = errors.New("piper: engine saturated: pending-pipeline budget exhausted")
+
+// ErrUnknownTenant is reported through a Handle when SubmitTenant names a
+// tenant class the engine was not configured with (Options.Tenants). It
+// is a configuration error, deliberately not a silent fallback to the
+// default class: misrouted traffic would otherwise corrupt both tenants'
+// QoS accounting.
+var ErrUnknownTenant = errors.New("piper: unknown tenant class")
+
+// ErrAdmissionExpired is reported through a Handle when a SubmitWait
+// submission was still queued for admission when its tenant class's
+// Deadline elapsed. It matches errors.Is(err, context.DeadlineExceeded).
+var ErrAdmissionExpired = fmt.Errorf("piper: tenant admission deadline exceeded: %w", context.DeadlineExceeded)
 
 // PanicError wraps a panic raised by a pipeline's condition or body (or a
 // fork-join child rethrown at its sync). It is reported through the
@@ -165,78 +178,81 @@ func (e *Engine) Submit(ctx context.Context, cond func() bool, body func(*Iter))
 // reject admission policy: a saturated engine fails the Handle immediately
 // with ErrSaturated.
 func (e *Engine) SubmitThrottled(ctx context.Context, k int, cond func() bool, body func(*Iter)) *Handle {
-	h := &Handle{eng: e, done: make(chan struct{})}
-	admitted := false
-	if e.admitCh != nil {
-		select {
-		case e.admitCh <- struct{}{}:
-			admitted = true
-		default:
-			e.stats.saturations.Add(1)
-			h.err = ErrSaturated
-			close(h.done)
-			return h
-		}
-	}
-	return e.submitAdmitted(ctx, k, cond, body, h, admitted)
+	return e.submitClass(ctx, DefaultTenant, k, cond, body, false)
+}
+
+// SubmitTenant is Submit admitted through the named tenant class
+// (Options.Tenants): the submission counts against that class's quota
+// and QoS accounting instead of the default class's. An unconfigured
+// name fails the Handle with ErrUnknownTenant.
+func (e *Engine) SubmitTenant(ctx context.Context, tenant string, cond func() bool, body func(*Iter)) *Handle {
+	return e.submitClass(ctx, tenant, 0, cond, body, false)
 }
 
 // SubmitWait is Submit under the blocking admission policy: if the
-// engine's MaxPending budget is exhausted it blocks until a slot frees
-// instead of rejecting. It returns a failed Handle only if ctx is done
-// first (context-deadline admission — the Handle reports the context's
-// cause) or the engine closes while waiting (ErrEngineClosed). Without a
-// budget (MaxPending 0) it is identical to Submit.
+// engine's MaxPending budget (or the class quota) is exhausted it joins
+// the admission queue instead of rejecting. Queued submissions are
+// admitted in FIFO order within a class and weighted-fairly across
+// classes (see TenantClass). It returns a failed Handle only if ctx is
+// done first (context-deadline admission — the Handle reports the
+// context's cause), the class admission deadline expires
+// (ErrAdmissionExpired), or the engine closes while waiting
+// (ErrEngineClosed). Without a budget (MaxPending 0, no tenant classes)
+// it is identical to Submit.
 func (e *Engine) SubmitWait(ctx context.Context, cond func() bool, body func(*Iter)) *Handle {
 	return e.SubmitWaitThrottled(ctx, 0, cond, body)
+}
+
+// SubmitWaitTenant is SubmitWait admitted through the named tenant
+// class. An unconfigured name fails the Handle with ErrUnknownTenant.
+func (e *Engine) SubmitWaitTenant(ctx context.Context, tenant string, cond func() bool, body func(*Iter)) *Handle {
+	return e.submitClass(ctx, tenant, 0, cond, body, true)
 }
 
 // SubmitWaitThrottled is SubmitWait with an explicit throttling limit K
 // (0 means the engine default).
 func (e *Engine) SubmitWaitThrottled(ctx context.Context, k int, cond func() bool, body func(*Iter)) *Handle {
+	return e.submitClass(ctx, DefaultTenant, k, cond, body, true)
+}
+
+// submitClass routes a submission through the engine's admission queue
+// (when one is configured) and launches it. block selects the blocking
+// (SubmitWait) versus reject (Submit) admission policy.
+func (e *Engine) submitClass(ctx context.Context, tenant string, k int, cond func() bool, body func(*Iter), block bool) *Handle {
 	h := &Handle{eng: e, done: make(chan struct{})}
-	admitted := false
-	if e.admitCh != nil {
-		select {
-		case e.admitCh <- struct{}{}:
-			admitted = true
-		default:
-			// Budget exhausted: block until a completing pipeline releases
-			// a slot, the caller's context is done, or Close releases every
-			// waiter through closingCh. The wait is measured so saturation
-			// pressure is observable (Stats.AdmissionWaitNs).
-			var ctxDone <-chan struct{}
-			if ctx != nil {
-				ctxDone = ctx.Done()
-			}
-			t0 := nowNs()
-			select {
-			case e.admitCh <- struct{}{}:
-				admitted = true
-			case <-ctxDone:
-			case <-e.closingCh:
-			}
-			e.stats.admissionWaitNs.Add(nowNs() - t0)
-			if !admitted {
-				e.stats.saturations.Add(1)
-				if ctx != nil && ctx.Err() != nil {
-					h.err = context.Cause(ctx)
-				} else {
-					h.err = ErrEngineClosed
-				}
-				close(h.done)
-				return h
-			}
+	ci, admitted := 0, false
+	if e.adm != nil {
+		var ok bool
+		if ci, ok = e.adm.lookup(tenant); !ok {
+			h.err = fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+			close(h.done)
+			return h
 		}
+		var err error
+		if block {
+			err = e.adm.waitAdmit(ctx, ci)
+		} else {
+			err = e.adm.tryAdmit(ci)
+		}
+		if err != nil {
+			h.err = err
+			close(h.done)
+			return h
+		}
+		admitted = true
+	} else if tenant != DefaultTenant {
+		h.err = fmt.Errorf("%w: %q (engine has no tenant classes)", ErrUnknownTenant, tenant)
+		close(h.done)
+		return h
 	}
-	return e.submitAdmitted(ctx, k, cond, body, h, admitted)
+	return e.submitAdmitted(ctx, k, cond, body, h, admitted, ci)
 }
 
 // submitAdmitted launches an already-admitted submission. admitted records
-// whether h holds a MaxPending slot; the slot is released by
-// finishTopLevel at completion, or right here if the engine turns out to
-// be closed.
-func (e *Engine) submitAdmitted(ctx context.Context, k int, cond func() bool, body func(*Iter), h *Handle, admitted bool) *Handle {
+// whether h holds an admission slot of tenant class ci; the slot is
+// released by finishTopLevel at completion, or right here if the engine
+// turns out to be closed.
+func (e *Engine) submitAdmitted(ctx context.Context, k int, cond func() bool, body func(*Iter), h *Handle, admitted bool, ci int) *Handle {
 	// The read side of submitMu spans the closed check and the inject, so
 	// a Submit racing Close either fails with ErrEngineClosed or has its
 	// root frame published before the closed flag flips — where the
@@ -245,7 +261,7 @@ func (e *Engine) submitAdmitted(ctx context.Context, k int, cond func() bool, bo
 	if e.closed.Load() {
 		e.submitMu.RUnlock()
 		if admitted {
-			<-e.admitCh
+			e.adm.release(ci)
 		}
 		h.err = ErrEngineClosed
 		close(h.done)
@@ -256,6 +272,7 @@ func (e *Engine) submitAdmitted(ctx context.Context, k int, cond func() bool, bo
 	pl.abort = &h.abort
 	pl.sub = h
 	pl.admitted = admitted
+	pl.tenant = ci
 	if ctx != nil {
 		if err := context.Cause(ctx); err != nil {
 			// Canceled before launch: mark the abort now, but still run the
@@ -308,7 +325,7 @@ func (e *Engine) finishTopLevel(pl *pipeline) {
 		// Release the admission slot before publishing completion, so a
 		// SubmitWait caller blocked on the budget is admitted no later
 		// than this handle's Wait returns.
-		<-e.admitCh
+		e.adm.release(pl.tenant)
 	}
 	e.releasePipeline(pl)
 	close(h.done)

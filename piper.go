@@ -72,9 +72,39 @@ type PanicError = core.PanicError
 var ErrEngineClosed = core.ErrEngineClosed
 
 // ErrSaturated is reported through a Handle when Submit finds the
-// engine's pending-pipeline budget (MaxPending) exhausted — the reject
-// admission policy. SubmitWait blocks for a slot instead.
+// engine's pending-pipeline budget (MaxPending) or the tenant class's
+// quota exhausted — the reject admission policy. SubmitWait queues for a
+// slot instead.
 var ErrSaturated = core.ErrSaturated
+
+// ErrUnknownTenant is reported through a Handle when SubmitTenant or
+// SubmitWaitTenant names a class the engine was not configured with.
+var ErrUnknownTenant = core.ErrUnknownTenant
+
+// ErrAdmissionExpired is reported through a Handle when a SubmitWait
+// submission was still queued for admission when its tenant class's
+// Deadline elapsed. Matches errors.Is(err, context.DeadlineExceeded).
+var ErrAdmissionExpired = core.ErrAdmissionExpired
+
+// DefaultTenant is the name of the implicit admission class every engine
+// has; Submit and SubmitWait admit through it.
+const DefaultTenant = core.DefaultTenant
+
+// TenantClass configures one admission class of a multi-tenant engine:
+// a deficit-round-robin weight (contended admission capacity is split
+// across backlogged classes in proportion to their weights), an optional
+// per-class pending quota independent of the global MaxPending budget,
+// and an optional admission deadline bounding how long the class's
+// SubmitWait callers may queue (expired waiters fail with
+// ErrAdmissionExpired, and earlier deadlines are admitted first among
+// classes eligible in a round).
+type TenantClass = core.TenantClass
+
+// TenantStats is the per-class admission snapshot (Engine.TenantStats):
+// Submitted/Admitted/Rejected/Canceled counters, the class's share of
+// the admission-wait time, and the Pending/Waiting gauges. Once a class
+// has no queued waiter, Submitted == Admitted + Rejected + Canceled.
+type TenantStats = core.TenantStats
 
 // PipelineReport summarizes a completed pipeline run.
 type PipelineReport = core.PipelineReport
@@ -115,10 +145,24 @@ func RetireAfter(d time.Duration) Option {
 // MaxPending bounds the number of submitted pipelines admitted and not
 // yet completed — the serving layer's backpressure budget (default 0,
 // unlimited). When the budget is exhausted, Submit rejects immediately
-// (Handle reports ErrSaturated) and SubmitWait blocks until a slot frees,
-// its context is done, or the engine closes.
+// (Handle reports ErrSaturated) and SubmitWait queues until a slot
+// frees, its context is done, its class admission deadline expires, or
+// the engine closes. Queued submissions are admitted FIFO within a
+// tenant class and weighted-fairly across classes (see Tenants).
 func MaxPending(n int) Option {
 	return func(o *core.Options) { o.MaxPending = n }
+}
+
+// Tenants configures the engine's admission classes for multi-tenant
+// QoS. Each class has a DRR weight, an optional per-class pending quota,
+// and an optional admission deadline (see TenantClass); submissions are
+// routed to a class with Engine.SubmitTenant/SubmitWaitTenant, while
+// plain Submit/SubmitWait use the always-present default class "".
+// Under a contended MaxPending budget the admission queue guarantees
+// that a backlogged class receives its weight's share of freed slots
+// every round — one hot tenant can no longer starve the rest.
+func Tenants(classes ...core.TenantClass) Option {
+	return func(o *core.Options) { o.Tenants = append(o.Tenants, classes...) }
 }
 
 // Throttle sets the default throttling limit K for pipelines run on the
